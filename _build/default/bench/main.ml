@@ -1,0 +1,963 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) and, with "micro", runs Bechamel
+   micro-benchmarks of the simulator's hot paths.
+
+   Usage:
+     dune exec bench/main.exe               # all paper experiments
+     dune exec bench/main.exe table1 fig4   # a subset
+     dune exec bench/main.exe micro         # Bechamel suite *)
+
+module T = Xc_sim.Table
+module Figures = Xcontainers.Figures
+module Config = Xc_platforms.Config
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 () =
+  section "Table 1: Automatic Binary Optimization Module (ABOM) efficacy";
+  let t =
+    T.create
+      [
+        ("Application", T.Left);
+        ("Implementation", T.Left);
+        ("Benchmark", T.Left);
+        ("Reduction (measured)", T.Right);
+        ("Reduction (paper)", T.Right);
+      ]
+  in
+  List.iter
+    (fun (m : Xc_apps.Profiles.measurement) ->
+      let p = m.profile in
+      let fmt_m =
+        match p.paper_manual_reduction with
+        | Some _ ->
+            Printf.sprintf "%.1f%% (%.1f%% manual)" (100. *. m.auto_reduction)
+              (100. *. m.manual_reduction)
+        | None -> Printf.sprintf "%.1f%%" (100. *. m.auto_reduction)
+      in
+      let fmt_p =
+        match p.paper_manual_reduction with
+        | Some man ->
+            Printf.sprintf "%.1f%% (%.1f%% manual)" (100. *. p.paper_reduction)
+              (100. *. man)
+        | None -> Printf.sprintf "%.1f%%" (100. *. p.paper_reduction)
+      in
+      T.add_row t [ p.name; p.implementation; p.benchmark; fmt_m; fmt_p ])
+    (Figures.table1 ());
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+
+let fig3 () =
+  section "Figure 3: macrobenchmarks (relative to patched Docker)";
+  List.iter
+    (fun app ->
+      let t =
+        T.create
+          ~title:(Figures.macro_app_name app)
+          [
+            ("configuration", T.Left);
+            ("Amazon tput", T.Right);
+            ("Amazon lat", T.Right);
+            ("Google tput", T.Right);
+            ("Google lat", T.Right);
+          ]
+      in
+      let amazon = Figures.fig3 Config.Amazon_ec2 app in
+      let google = Figures.fig3 Config.Google_gce app in
+      let rel_la = Figures.relative_latency amazon
+      and rel_tg = Figures.relative_throughput google
+      and rel_lg = Figures.relative_latency google in
+      List.iter
+        (fun (name, ta) ->
+          let get l = match List.assoc_opt name l with Some v -> v | None -> nan in
+          T.add_row t
+            [
+              name;
+              T.fmt_ratio ta;
+              T.fmt_ratio (get rel_la);
+              T.fmt_ratio (get rel_tg);
+              T.fmt_ratio (get rel_lg);
+            ])
+        (Figures.relative_throughput amazon);
+      T.print t;
+      print_newline ())
+    Figures.macro_apps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                            *)
+
+let fig4 () =
+  section "Figure 4: relative system call throughput (higher is better)";
+  let cols =
+    [
+      Figures.fig4 Config.Amazon_ec2 ~concurrent:false;
+      Figures.fig4 Config.Amazon_ec2 ~concurrent:true;
+      Figures.fig4 Config.Google_gce ~concurrent:false;
+      Figures.fig4 Config.Google_gce ~concurrent:true;
+    ]
+  in
+  let t =
+    T.create
+      [
+        ("configuration", T.Left);
+        ("Amazon single", T.Right);
+        ("Amazon concurrent", T.Right);
+        ("Google single", T.Right);
+        ("Google concurrent", T.Right);
+      ]
+  in
+  List.iter
+    (fun (name, first) ->
+      let rest =
+        List.map
+          (fun col -> match List.assoc_opt name col with Some v -> v | None -> nan)
+          (List.tl cols)
+      in
+      T.add_row t (name :: List.map T.fmt_ratio (first :: rest)))
+    (List.hd cols);
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+
+let fig5 () =
+  section "Figure 5: microbenchmarks (relative to patched Docker)";
+  let panels =
+    [
+      ("(a) Amazon EC2 Single", Config.Amazon_ec2, false);
+      ("(b) Amazon EC2 Concurrent", Config.Amazon_ec2, true);
+      ("(c) Google GCE Single", Config.Google_gce, false);
+      ("(d) Google GCE Concurrent", Config.Google_gce, true);
+    ]
+  in
+  List.iter
+    (fun (title, cloud, concurrent) ->
+      let tests = Xc_apps.Unixbench.all_micro @ [ Xc_apps.Unixbench.Iperf ] in
+      let t =
+        T.create ~title
+          (("configuration", T.Left)
+          :: List.map (fun test -> (Xc_apps.Unixbench.test_name test, T.Right)) tests)
+      in
+      let columns = List.map (fun test -> Figures.fig5 cloud ~concurrent test) tests in
+      let names = List.map fst (List.hd columns) in
+      List.iter
+        (fun name ->
+          let cells =
+            List.map
+              (fun col ->
+                match List.assoc_opt name col with
+                | Some v -> T.fmt_ratio v
+                | None -> "-")
+              columns
+          in
+          T.add_row t (name :: cells))
+        names;
+      T.print t;
+      print_newline ())
+    panels
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+
+let fig6 () =
+  section "Figure 6: Unikernel (U), Graphene (G) and X-Container (X)";
+  let r = Figures.fig6 () in
+  let t = T.create ~title:"(a) NGINX, 1 worker" [ ("contender", T.Left); ("req/s", T.Right) ] in
+  List.iter (fun (n, v) -> T.add_row t [ n; T.fmt_si v ]) r.nginx_1worker;
+  T.print t;
+  print_newline ();
+  let t = T.create ~title:"(b) NGINX, 4 workers" [ ("contender", T.Left); ("req/s", T.Right) ] in
+  List.iter (fun (n, v) -> T.add_row t [ n; T.fmt_si v ]) r.nginx_4workers;
+  T.print t;
+  print_newline ();
+  let t =
+    T.create ~title:"(c) 2 x PHP + MySQL (total of both PHP servers)"
+      [ ("contender", T.Left); ("topology", T.Left); ("req/s", T.Right) ]
+  in
+  List.iter (fun (c, topo, v) -> T.add_row t [ c; topo; T.fmt_si v ]) r.php_mysql;
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                            *)
+
+let fig8 () =
+  section "Figure 8: throughput scalability with container count";
+  let results = Figures.fig8 () in
+  let counts = Xc_apps.Scalability.default_counts in
+  let t =
+    T.create
+      (("containers", T.Right)
+      :: List.map (fun (r, _) -> (Config.runtime_name r, T.Right)) results)
+  in
+  List.iter
+    (fun n ->
+      let cells =
+        List.map
+          (fun (_, points) ->
+            match
+              List.find_opt
+                (fun (p : Xc_apps.Scalability.point) -> p.containers = n)
+                points
+            with
+            | Some p when p.booted -> T.fmt_si p.throughput_rps
+            | Some _ -> "(no boot)"
+            | None -> "-")
+          results
+      in
+      T.add_row t (string_of_int n :: cells))
+    counts;
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                            *)
+
+let fig9 () =
+  section "Figure 9: kernel-level load balancing";
+  let t =
+    T.create
+      [
+        ("setup", T.Left);
+        ("req/s", T.Right);
+        ("LB cost/req", T.Right);
+        ("bottleneck", T.Left);
+      ]
+  in
+  List.iter
+    (fun (r : Xc_apps.Lb_experiment.result) ->
+      T.add_row t
+        [
+          Xc_apps.Lb_experiment.setup_name r.setup;
+          T.fmt_si r.throughput_rps;
+          Printf.sprintf "%.1fus" (r.lb_service_ns /. 1e3);
+          (match r.bottleneck with `Balancer -> "balancer" | `Backends -> "backends");
+        ])
+    (Figures.fig9 ());
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Boot times (Section 4.5)                                            *)
+
+let boot () =
+  section "Section 4.5: instantiation time";
+  let t =
+    T.create
+      [
+        ("platform", T.Left);
+        ("toolstack", T.Right);
+        ("kernel", T.Right);
+        ("bootstrap", T.Right);
+        ("total", T.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Figures.boot_row) ->
+      let b = r.breakdown in
+      let msf v = Printf.sprintf "%.0fms" (v /. 1e6) in
+      T.add_row t
+        [
+          r.label;
+          msf b.Xcontainers.Boot.toolstack_ns;
+          msf b.kernel_boot_ns;
+          msf b.bootloader_ns;
+          msf b.total_ns;
+        ])
+    (Figures.boot_times ());
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: ablation of the X-Container design choices               *)
+
+let ablation () =
+  section "Ablation: what each X-Container mechanism buys (beyond-paper)";
+  let apps =
+    [
+      ("NGINX (wrk)", Xc_apps.Nginx.static_request_wrk);
+      ("memcached (memtier)", Xc_apps.Memcached.mixed_request);
+      ("Redis", Xc_apps.Redis.request);
+      ("NGINX+PHP-FPM", Xc_apps.Php_app.fpm_request);
+      (* A context-switch-dominated microbenchmark makes the global-bit
+         row visible: the kernel-TLB refill is per switch. *)
+      ( "ctx-switch ubench",
+        Xc_apps.Recipe.make ~name:"ctx-ubench" ~user_ns:100.
+          ~ops:
+            [
+              Xc_os.Kernel.Pipe_write 4;
+              Xc_os.Kernel.Pipe_read 4;
+              Xc_os.Kernel.Pipe_write 4;
+              Xc_os.Kernel.Pipe_read 4;
+            ]
+          ~request_bytes:0 ~response_bytes:0 ~process_hops:4 ~irqs:0 () );
+    ]
+  in
+  let platform =
+    Xc_platforms.Platform.create (Config.make Config.X_container)
+  in
+  let t =
+    T.create
+      (("mechanism removed", T.Left)
+      :: List.map (fun (name, _) -> (name, T.Right)) apps)
+  in
+  List.iter
+    (fun knob ->
+      let cells =
+        List.map
+          (fun (_, recipe) ->
+            let shape =
+              Xc_platforms.Ablation.shape
+                ~syscalls:(Xc_apps.Recipe.syscall_count recipe)
+                ~irqs:recipe.Xc_apps.Recipe.irqs
+                ~hops:recipe.Xc_apps.Recipe.process_hops
+                ~coverage:recipe.Xc_apps.Recipe.abom_coverage
+            in
+            let base = Xc_apps.Recipe.service_ns platform recipe in
+            T.fmt_ratio
+              (Xc_platforms.Ablation.relative_throughput knob shape
+                 ~base_service_ns:base))
+          apps
+      in
+      T.add_row t (Xc_platforms.Ablation.knob_name knob :: cells))
+    Xc_platforms.Ablation.all;
+  T.print t;
+  print_newline ();
+  print_endline
+    "(throughput relative to the full X-Container; ABOM is the big lever on";
+  print_endline
+    " syscall-dense apps, direct event delivery on interrupt-dense ones;";
+  print_endline
+    " SMP-disabled is the Section 3.2 customization, a gain not a loss)"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: event-driven scheduler simulation (Figure 8 mechanism)   *)
+
+let fig8sim () =
+  section
+    "Figure 8 cross-validation: event-driven flat vs hierarchical scheduling";
+  let t =
+    T.create
+      [
+        ("containers", T.Right);
+        ("flat rps", T.Right);
+        ("hier rps", T.Right);
+        ("flat cont-switches", T.Right);
+        ("hier cont-switches", T.Right);
+        ("flat switch ovh", T.Right);
+        ("hier switch ovh", T.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let flat =
+        Xc_platforms.Cluster_sim.run
+          (Xc_platforms.Cluster_sim.default_config Xc_platforms.Cluster_sim.Flat
+             ~containers:n)
+      in
+      let hier =
+        Xc_platforms.Cluster_sim.run
+          (Xc_platforms.Cluster_sim.default_config
+             Xc_platforms.Cluster_sim.Hierarchical ~containers:n)
+      in
+      T.add_row t
+        [
+          string_of_int n;
+          T.fmt_si flat.throughput_rps;
+          T.fmt_si hier.throughput_rps;
+          string_of_int flat.container_switches;
+          string_of_int hier.container_switches;
+          Printf.sprintf "%.0fms" (flat.switch_overhead_ns /. 1e6);
+          Printf.sprintf "%.0fms" (hier.switch_overhead_ns /. 1e6);
+        ])
+    [ 16; 64; 150; 400 ];
+  T.print t;
+  print_newline ();
+  print_endline
+    "(the two-level scheduler batches each container's processes, doing ~3x";
+  print_endline
+    " fewer cross-container switches; with 4N processes the flat scheduler's";
+  print_endline
+    " per-switch bookkeeping grows until the hierarchy wins, as in Figure 8)"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: security/TCB comparison (Sections 2.2, 3.4)              *)
+
+let security () =
+  section "Isolation analysis: TCB and attack surface (Sections 2.2/3.4)";
+  let t =
+    T.create
+      [
+        ("platform", T.Left);
+        ("boundary", T.Left);
+        ("TCB kLoC", T.Right);
+        ("surface", T.Right);
+        ("rel. exposure", T.Right);
+        ("guest KPTI needed", T.Left);
+      ]
+  in
+  List.iter
+    (fun (p : Xcontainers.Security.profile) ->
+      T.add_row t
+        [
+          Config.runtime_name p.runtime;
+          Xcontainers.Security.boundary_name p.boundary;
+          string_of_int p.tcb_kloc;
+          string_of_int p.attack_surface;
+          Printf.sprintf "%.4f" (Xcontainers.Security.vulnerability_exposure p);
+          (if p.needs_guest_meltdown_patch then "yes" else "no");
+        ])
+    Xcontainers.Security.all;
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: live migration (Section 3.3)                             *)
+
+let migration () =
+  section "Live migration of a 128MB X-Container (Section 3.3 extension)";
+  let t =
+    T.create
+      [
+        ("dirty rate (pages/s)", T.Right);
+        ("rounds", T.Right);
+        ("pages sent", T.Right);
+        ("total time", T.Right);
+        ("downtime", T.Right);
+        ("converged", T.Left);
+      ]
+  in
+  List.iter
+    (fun dirty_rate ->
+      let params =
+        {
+          (Xc_hypervisor.Migration.default_params ~memory_mb:128) with
+          dirty_pages_per_s = dirty_rate;
+        }
+      in
+      let r = Xc_hypervisor.Migration.migrate params in
+      T.add_row t
+        [
+          Printf.sprintf "%.0f" dirty_rate;
+          string_of_int (List.length r.rounds);
+          string_of_int r.total_pages_sent;
+          Printf.sprintf "%.0fms" (r.total_ns /. 1e6);
+          Printf.sprintf "%.1fms" (r.downtime_ns /. 1e6);
+          (if r.converged then "yes" else "no (forced stop)");
+        ])
+    [ 0.; 1_000.; 5_000.; 20_000.; 60_000.; 200_000. ];
+  T.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: clone-based spawning (Section 4.5)                       *)
+
+let clone () =
+  section "Spawning: cold boot vs SnowFlock-style cloning (Section 4.5)";
+  let snapshot =
+    Xcontainers.Cloning.snapshot_of_parent ~memory_mb:128 ~resident_pages:2048
+  in
+  let c = Xcontainers.Cloning.clone snapshot in
+  let t = T.create [ ("path", T.Left); ("time", T.Right) ] in
+  let msf v = Printf.sprintf "%.1fms" (v /. 1e6) in
+  T.add_row t [ "cold boot, xl toolstack"; msf (Xcontainers.Boot.xcontainer ()).total_ns ];
+  T.add_row t
+    [
+      "cold boot, LightVM toolstack";
+      msf (Xcontainers.Boot.xcontainer ~toolstack:Xcontainers.Boot.Lightvm ()).total_ns;
+    ];
+  T.add_row t [ "clone: toolstack"; msf c.toolstack_ns ];
+  T.add_row t [ "clone: CoW setup"; msf c.page_sharing_setup_ns ];
+  T.add_row t [ "clone: eager working set"; msf c.eager_copy_ns ];
+  T.add_row t [ "clone: total"; msf c.total_ns ];
+  T.print t;
+  Printf.printf "\nspeedup vs cold boot: %.0fx; vs LightVM boot: %.1fx\n"
+    (Xcontainers.Cloning.speedup_vs_cold_boot snapshot)
+    (Xcontainers.Cloning.speedup_vs_lightvm_boot snapshot)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the wider application sweep                              *)
+
+let macro_extra () =
+  section
+    "Extended macro sweep: relative throughput across eleven applications";
+  let apps =
+    [
+      ("NGINX", fun c p -> Figures.(server_for_public c p `Nginx));
+      ("memcached", fun c p -> Figures.(server_for_public c p `Memcached));
+      ("Redis", fun c p -> Figures.(server_for_public c p `Redis));
+      ("etcd", fun c p -> Figures.(server_for_public c p `Etcd));
+      ("MongoDB", fun c p -> Figures.(server_for_public c p `Mongo));
+      ("Postgres", fun c p -> Figures.(server_for_public c p `Postgres));
+      ("RabbitMQ", fun c p -> Figures.(server_for_public c p `Rabbitmq));
+      ("MySQL", fun c p -> Figures.(server_for_public c p `Mysql));
+      ("Fluentd", fun c p -> Figures.(server_for_public c p `Fluentd));
+      ("Elasticsearch", fun c p -> Figures.(server_for_public c p `Elasticsearch));
+      ("InfluxDB", fun c p -> Figures.(server_for_public c p `Influxdb));
+    ]
+  in
+  let configs =
+    List.map
+      (fun r -> Config.make ~cloud:Config.Amazon_ec2 r)
+      [ Config.Docker; Config.Xen_container; Config.X_container; Config.Gvisor ]
+  in
+  let t =
+    T.create
+      (("application", T.Left)
+      :: List.map (fun c -> (Config.name c, T.Right)) configs)
+  in
+  List.iter
+    (fun (name, make_server) ->
+      let tput config =
+        let platform = Xc_platforms.Platform.create config in
+        let server = make_server config platform in
+        (Xc_platforms.Closed_loop.run
+           { Xc_platforms.Closed_loop.default_config with connections = 96 }
+           server)
+          .throughput_rps
+      in
+      let base = tput (List.hd configs) in
+      T.add_row t
+        (name :: List.map (fun c -> T.fmt_ratio (tput c /. base)) configs))
+    apps;
+  T.print t;
+  print_newline ();
+  print_endline
+    "(normalised to patched Docker; the syscall-dense caches gain the most,";
+  print_endline
+    " the user-space-heavy databases the least - the Table 1/Figure 3 story";
+  print_endline " extended over the rest of the paper's application list)"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: serverless cold starts                                   *)
+
+let coldstart () =
+  section "Serverless cold starts: invocation latency by spawn path (extension)";
+  List.iter
+    (fun rate ->
+      Printf.printf "arrival rate: %.2f invocations/s (50ms function, 30s keep-alive)\n"
+        rate;
+      let t =
+        T.create
+          [
+            ("spawn path", T.Left);
+            ("cold starts", T.Right);
+            ("p50", T.Right);
+            ("p99", T.Right);
+          ]
+      in
+      List.iter
+        (fun path ->
+          let r = Xc_apps.Coldstart.run path (Xc_apps.Coldstart.default_config ~rate_rps:rate) in
+          T.add_row t
+            [
+              Xc_apps.Coldstart.spawn_path_name path;
+              Printf.sprintf "%d/%d (%.0f%%)" r.cold_starts r.invocations
+                (100. *. r.cold_fraction);
+              Printf.sprintf "%.0fms" (r.p50_latency_ns /. 1e6);
+              Printf.sprintf "%.0fms" (r.p99_latency_ns /. 1e6);
+            ])
+        Xc_apps.Coldstart.all_paths;
+      T.print t;
+      print_newline ())
+    [ 0.02; 0.05; 0.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Extension: open-loop latency curves                                 *)
+
+let latency () =
+  section "Open-loop latency vs load: NGINX, Docker vs X-Container (extension)";
+  let t =
+    T.create
+      [
+        ("load", T.Right);
+        ("Docker p50", T.Right);
+        ("Docker p99", T.Right);
+        ("XC p50", T.Right);
+        ("XC p99", T.Right);
+      ]
+  in
+  let server runtime =
+    let platform = Xc_platforms.Platform.create (Config.make runtime) in
+    let recipe = Xc_apps.Nginx.static_request_wrk in
+    let service = Xc_apps.Recipe.service_ns platform recipe in
+    ( service,
+      {
+        Xc_platforms.Closed_loop.units = 4;
+        service_ns = (fun _ -> service);
+        overhead_ns = 0.;
+      } )
+  in
+  let docker_service, docker_server = server Config.Docker in
+  let _, xc_server = server Config.X_container in
+  let capacity = 4e9 /. docker_service in
+  List.iter
+    (fun fraction ->
+      let rate = fraction *. capacity in
+      let run srv =
+        Xc_platforms.Open_loop.run
+          (Xc_platforms.Open_loop.config ~rate_rps:rate ())
+          srv
+      in
+      let d = run docker_server and x = run xc_server in
+      let us v = Printf.sprintf "%.0fus" (v /. 1e3) in
+      T.add_row t
+        [
+          Printf.sprintf "%.0f%%" (fraction *. 100.);
+          us d.Xc_platforms.Open_loop.p50_ns;
+          us d.Xc_platforms.Open_loop.p99_ns;
+          us x.Xc_platforms.Open_loop.p50_ns;
+          us x.Xc_platforms.Open_loop.p99_ns;
+        ])
+    [ 0.3; 0.5; 0.7; 0.85; 0.95 ];
+  T.print t;
+  print_endline
+    "(load normalised to Docker's capacity: at 95% of Docker's limit the";
+  print_endline
+    " X-Container still has headroom, so its tail stays flat)"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the kernel-compilation counterpoint                      *)
+
+let build_bench () =
+  section "Kernel compilation (tiny config): the process-churn counterpoint";
+  let t =
+    T.create
+      [
+        ("platform", T.Left);
+        ("build time", T.Right);
+        ("relative to Docker", T.Right);
+      ]
+  in
+  List.iter
+    (fun runtime ->
+      let p = Xc_platforms.Platform.create (Config.make runtime) in
+      T.add_row t
+        [
+          Config.runtime_name runtime;
+          Printf.sprintf "%.1fs" (Xc_apps.Kernel_build.build_ns p /. 1e9);
+          T.fmt_ratio (Xc_apps.Kernel_build.relative_to_docker p);
+        ])
+    [
+      Config.Docker;
+      Config.Clear_container;
+      Config.X_container;
+      Config.Xen_container;
+      Config.Gvisor;
+    ];
+  T.print t;
+  print_newline ();
+  print_endline
+    "(fork/exec-heavy work is where X-Containers give a little back - the";
+  print_endline
+    " PV page-table tax of Section 5.4 - while ABOM still converts 95.3%";
+  print_endline " of the build's syscalls, keeping the gap small)"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: memory density with ballooning/tmem                      *)
+
+let density () =
+  section "Memory density: X-Containers per 96GB host (Section 4.5 extension)";
+  let t =
+    T.create
+      [
+        ("policy", T.Left);
+        ("containers", T.Right);
+        ("tmem pool", T.Right);
+        ("shared-cache hits", T.Right);
+        ("vs static", T.Right);
+      ]
+  in
+  let static = Xc_apps.Density.run Xc_apps.Density.Static in
+  List.iter
+    (fun policy ->
+      let r = Xc_apps.Density.run policy in
+      T.add_row t
+        [
+          Xc_apps.Density.policy_name policy;
+          string_of_int r.containers;
+          (if r.tmem_pool_mb > 0 then Printf.sprintf "%dMB" r.tmem_pool_mb else "-");
+          (if r.est_page_cache_hit_gain > 0. then
+             Printf.sprintf "%.0f%%" (100. *. r.est_page_cache_hit_gain)
+           else "-");
+          T.fmt_ratio (Xc_apps.Density.density_gain static r);
+        ])
+    Xc_apps.Density.all_policies;
+  T.print t;
+  print_newline ();
+  print_endline
+    "(20% of containers active; idle ones ballooned to the 64MB floor the";
+  print_endline
+    " paper measured X-Containers to run at - the Section 4.5 limitation,";
+  print_endline " lifted with the mechanisms the paper cites)"
+
+(* ------------------------------------------------------------------ *)
+(* CSV artifact export (for plotting)                                  *)
+
+let csv () =
+  let dir = "results" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name (t : T.t) =
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (T.to_csv t);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  (* Table 1 *)
+  let t = T.create [ ("application", T.Left); ("measured", T.Right); ("paper", T.Right) ] in
+  List.iter
+    (fun (m : Xc_apps.Profiles.measurement) ->
+      T.add_row t
+        [
+          m.profile.name;
+          Printf.sprintf "%.4f" m.auto_reduction;
+          Printf.sprintf "%.4f" m.profile.paper_reduction;
+        ])
+    (Figures.table1 ());
+  write "table1" t;
+  (* Figure 3 (throughput, both clouds, all apps) *)
+  let t =
+    T.create
+      [ ("app", T.Left); ("cloud", T.Left); ("configuration", T.Left);
+        ("relative_tput", T.Right); ("relative_latency", T.Right) ]
+  in
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (cloud, cloud_name) ->
+          let results = Figures.fig3 cloud app in
+          let tput = Figures.relative_throughput results in
+          let lat = Figures.relative_latency results in
+          List.iter
+            (fun (name, v) ->
+              T.add_row t
+                [
+                  Figures.macro_app_name app;
+                  cloud_name;
+                  name;
+                  Printf.sprintf "%.4f" v;
+                  Printf.sprintf "%.4f" (List.assoc name lat);
+                ])
+            tput)
+        [ (Config.Amazon_ec2, "amazon"); (Config.Google_gce, "google") ])
+    Figures.macro_apps;
+  write "fig3" t;
+  (* Figure 4 *)
+  let t =
+    T.create
+      [ ("configuration", T.Left); ("amazon_single", T.Right);
+        ("amazon_concurrent", T.Right) ]
+  in
+  let single = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  let conc = Figures.fig4 Config.Amazon_ec2 ~concurrent:true in
+  List.iter
+    (fun (name, v) ->
+      T.add_row t
+        [ name; Printf.sprintf "%.4f" v;
+          Printf.sprintf "%.4f" (List.assoc name conc) ])
+    single;
+  write "fig4" t;
+  (* Figure 5 (Amazon single panel) *)
+  let tests = Xc_apps.Unixbench.all_micro @ [ Xc_apps.Unixbench.Iperf ] in
+  let t =
+    T.create
+      (("configuration", T.Left)
+      :: List.map (fun test -> (Xc_apps.Unixbench.test_name test, T.Right)) tests)
+  in
+  let cols = List.map (fun test -> Figures.fig5 Config.Amazon_ec2 ~concurrent:false test) tests in
+  List.iter
+    (fun (name, _) ->
+      T.add_row t
+        (name
+        :: List.map
+             (fun col -> Printf.sprintf "%.4f" (List.assoc name col))
+             cols))
+    (List.hd cols);
+  write "fig5_amazon_single" t;
+  (* Figure 8 *)
+  let t =
+    T.create
+      (("containers", T.Right)
+      :: List.map (fun r -> (Config.runtime_name r, T.Right)) Figures.fig8_runtimes)
+  in
+  let results = Figures.fig8 () in
+  List.iter
+    (fun n ->
+      T.add_row t
+        (string_of_int n
+        :: List.map
+             (fun (_, points) ->
+               match
+                 List.find_opt
+                   (fun (p : Xc_apps.Scalability.point) -> p.containers = n)
+                   points
+               with
+               | Some p when p.booted -> Printf.sprintf "%.0f" p.throughput_rps
+               | _ -> "")
+             results))
+    Xc_apps.Scalability.default_counts;
+  write "fig8" t;
+  (* Figure 9 *)
+  let t = T.create [ ("setup", T.Left); ("throughput_rps", T.Right) ] in
+  List.iter
+    (fun (r : Xc_apps.Lb_experiment.result) ->
+      T.add_row t
+        [
+          Xc_apps.Lb_experiment.setup_name r.setup;
+          Printf.sprintf "%.0f" r.throughput_rps;
+        ])
+    (Figures.fig9 ());
+  write "fig9" t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the simulator itself                   *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let heap_bench =
+    Test.make ~name:"heap push/pop x1000"
+      (Staged.stage (fun () ->
+           let h = Xc_sim.Heap.create () in
+           for i = 0 to 999 do
+             Xc_sim.Heap.push h (float_of_int ((i * 7919) mod 1000)) i
+           done;
+           while not (Xc_sim.Heap.is_empty h) do
+             ignore (Xc_sim.Heap.pop h)
+           done))
+  in
+  let prng_bench =
+    Test.make ~name:"prng 10k samples"
+      (Staged.stage (fun () ->
+           let rng = Xc_sim.Prng.create 1 in
+           for _ = 1 to 10_000 do
+             ignore (Xc_sim.Prng.float rng 1.0)
+           done))
+  in
+  let abom_bench =
+    Test.make ~name:"abom patch one binary"
+      (Staged.stage (fun () ->
+           let prog =
+             Xc_isa.Builder.build
+               [
+                 (Xc_isa.Builder.Glibc_small, 0);
+                 (Xc_isa.Builder.Glibc_wide, 1);
+                 (Xc_isa.Builder.Go_stack, 39);
+               ]
+           in
+           let patcher = Xc_abom.Patcher.create (Xc_abom.Entry_table.create ()) in
+           List.iter
+             (fun (s : Xc_isa.Builder.site) ->
+               ignore
+                 (Xc_abom.Patcher.patch_site patcher prog.image
+                    ~syscall_off:s.syscall_off))
+             prog.sites))
+  in
+  let machine_bench =
+    Test.make ~name:"machine run 3-syscall program"
+      (Staged.stage (fun () ->
+           let prog =
+             Xc_isa.Builder.build
+               [
+                 (Xc_isa.Builder.Glibc_small, 0);
+                 (Xc_isa.Builder.Glibc_small, 1);
+                 (Xc_isa.Builder.Glibc_small, 3);
+               ]
+           in
+           let m = Xc_isa.Machine.create prog.image ~entry:prog.entry in
+           ignore (Xc_isa.Machine.run m)))
+  in
+  let closed_loop_bench =
+    Test.make ~name:"closed-loop 10ms simulated"
+      (Staged.stage (fun () ->
+           let server =
+             {
+               Xc_platforms.Closed_loop.units = 4;
+               service_ns = (fun _ -> 20_000.);
+               overhead_ns = 0.;
+             }
+           in
+           ignore
+             (Xc_platforms.Closed_loop.run
+                {
+                  Xc_platforms.Closed_loop.default_config with
+                  duration_ns = 1e7;
+                  warmup_ns = 1e6;
+                }
+                server)))
+  in
+  let tests =
+    Test.make_grouped ~name:"simulator"
+      [ heap_bench; prng_bench; abom_bench; machine_bench; closed_loop_bench ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  section "Bechamel: simulator hot paths";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("boot", boot);
+    ("ablation", ablation);
+    ("fig8sim", fig8sim);
+    ("security", security);
+    ("migration", migration);
+    ("clone", clone);
+    ("latency", latency);
+    ("coldstart", coldstart);
+    ("macro-extra", macro_extra);
+    ("build-bench", build_bench);
+    ("density", density);
+    ("csv", csv);
+  ]
+
+let () =
+  (match Xc_cpu.Costs.validate () with
+  | Ok () -> ()
+  | Error violations ->
+      prerr_endline "cost-model validation failed:";
+      List.iter (fun v -> prerr_endline ("  - " ^ v)) violations;
+      exit 1);
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      (* Everything except the artifact writer (ask for "csv" explicitly). *)
+      List.iter (fun (name, f) -> if name <> "csv" then f ()) all_experiments
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then micro ()
+          else begin
+            match List.assoc_opt name all_experiments with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s micro\n" name
+                  (String.concat " " (List.map fst all_experiments));
+                exit 2
+          end)
+        names

@@ -1,0 +1,560 @@
+(* The xc command-line tool: poke at the X-Containers reproduction from
+   the shell.
+
+     xc boot --image nginx:1.13 --repeat 500
+     xc abom --style glibc-wide --sysno 15
+     xc platforms
+     xc syscall-costs [--cloud google] [--unpatched]
+     xc profile mysql
+     xc profiles
+     xc boot-times
+
+   (The paper's tables and figures live in `dune exec bench/main.exe`.) *)
+
+open Cmdliner
+
+let exit_err msg =
+  prerr_endline ("xc: " ^ msg);
+  exit 1
+
+(* ---------------- xc boot ---------------- *)
+
+let boot_cmd =
+  let image =
+    Arg.(value & opt string "nginx:1.13" & info [ "image"; "i" ] ~doc:"Docker image to boot.")
+  in
+  let memory =
+    Arg.(value & opt int 128 & info [ "memory"; "m" ] ~doc:"Memory in MB.")
+  in
+  let vcpus = Arg.(value & opt int 1 & info [ "vcpus" ] ~doc:"Virtual CPUs.") in
+  let repeat =
+    Arg.(value & opt int 100 & info [ "repeat"; "r" ] ~doc:"Program executions.")
+  in
+  let lightvm =
+    Arg.(value & flag & info [ "lightvm" ] ~doc:"Use the LightVM-style toolstack.")
+  in
+  let run image memory vcpus repeat lightvm =
+    let xkernel = Xc_hypervisor.Xkernel.create ~pcpus:4 ~memory_mb:16384 () in
+    let spec = Xcontainers.Spec.make ~memory_mb:memory ~vcpus ~name:"cli" ~image () in
+    let toolstack = if lightvm then Xcontainers.Boot.Lightvm else Xcontainers.Boot.Xl in
+    match Xcontainers.Xcontainer.boot ~toolstack ~xkernel spec with
+    | Error e -> exit_err e
+    | Ok xc ->
+        Format.printf "booted %a@." Xcontainers.Spec.pp spec;
+        Format.printf "boot time: %a@." Xcontainers.Boot.pp
+          (Xcontainers.Xcontainer.boot_time xc);
+        (match Xcontainers.Xcontainer.exec_program ~repeat xc with
+        | Ok Xc_isa.Machine.Halted ->
+            let s = Xcontainers.Xcontainer.syscall_stats xc in
+            Format.printf
+              "ran %d times: %d syscalls, %d trapped, %d converted (%.2f%%)@."
+              repeat s.total s.via_trap s.via_function_call (100. *. s.reduction)
+        | Ok _ -> exit_err "program did not halt"
+        | Error e ->
+            Format.printf "(image has no entry program: %s)@." e);
+        Xcontainers.Xcontainer.shutdown ~xkernel xc
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Boot an X-Container and run its program under ABOM.")
+    Term.(const run $ image $ memory $ vcpus $ repeat $ lightvm)
+
+(* ---------------- xc abom ---------------- *)
+
+let style_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "glibc-small" -> Ok Xc_isa.Builder.Glibc_small
+    | "glibc-wide" -> Ok Xc_isa.Builder.Glibc_wide
+    | "go-stack" -> Ok Xc_isa.Builder.Go_stack
+    | "cancellable" -> Ok Xc_isa.Builder.Cancellable
+    | "exotic" -> Ok Xc_isa.Builder.Exotic
+    | other -> Error (`Msg ("unknown wrapper style: " ^ other))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Xc_isa.Builder.style_to_string s))
+
+let abom_cmd =
+  let style =
+    Arg.(value & opt style_conv Xc_isa.Builder.Glibc_small
+        & info [ "style"; "s" ]
+            ~doc:"Wrapper style: glibc-small, glibc-wide, go-stack, cancellable, exotic.")
+  in
+  let sysno = Arg.(value & opt int 0 & info [ "sysno"; "n" ] ~doc:"Syscall number.") in
+  let offline =
+    Arg.(value & flag & info [ "offline" ] ~doc:"Also run the aggressive offline tool.")
+  in
+  let run style sysno offline =
+    let prog = Xc_isa.Builder.build [ (style, sysno) ] in
+    let site = List.hd prog.sites in
+    let dump title =
+      Format.printf "--- %s ---@." title;
+      print_endline
+        (Xc_isa.Image.disassemble_range prog.image ~off:site.wrapper_off ~len:12);
+      print_newline ()
+    in
+    dump "before";
+    let patcher = Xc_abom.Patcher.create (Xc_abom.Entry_table.create ()) in
+    let outcome = Xc_abom.Patcher.patch_site patcher prog.image ~syscall_off:site.syscall_off in
+    Format.printf "online patch: %s@.@." (Xc_abom.Patcher.outcome_to_string outcome);
+    dump "after online ABOM";
+    if offline then begin
+      let report = Xc_abom.Offline_tool.patch_image ~aggressive:true patcher prog.image in
+      Format.printf "offline tool: %a@.@." Xc_abom.Offline_tool.pp_report report;
+      dump "after offline tool"
+    end
+  in
+  Cmd.v
+    (Cmd.info "abom" ~doc:"Show ABOM rewriting one syscall site, byte for byte.")
+    Term.(const run $ style $ sysno $ offline)
+
+(* ---------------- xc platforms ---------------- *)
+
+let platforms_cmd =
+  let run () =
+    let open Xc_platforms.Config in
+    let t =
+      Xc_sim.Table.create
+        (("platform", Xc_sim.Table.Left)
+        :: List.map
+             (fun f -> (feature_name f, Xc_sim.Table.Left))
+             [ Binary_compat; Multiprocess; Multicore; Kernel_modules; No_hw_virt ])
+    in
+    List.iter
+      (fun r ->
+        Xc_sim.Table.add_row t
+          (runtime_name r
+          :: List.map
+               (fun f -> if supports r f then "yes" else "-")
+               [ Binary_compat; Multiprocess; Multicore; Kernel_modules; No_hw_virt ]))
+      [ Docker; Gvisor; Clear_container; Xen_container; X_container; Unikernel; Graphene ];
+    Xc_sim.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "platforms" ~doc:"The capability matrix of Section 2.3.")
+    Term.(const run $ const ())
+
+(* ---------------- xc syscall-costs ---------------- *)
+
+let cloud_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "amazon" | "ec2" -> Ok Xc_platforms.Config.Amazon_ec2
+    | "google" | "gce" -> Ok Xc_platforms.Config.Google_gce
+    | "local" -> Ok Xc_platforms.Config.Local_cluster
+    | other -> Error (`Msg ("unknown cloud: " ^ other))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt c ->
+        Format.pp_print_string fmt
+          (match c with
+          | Xc_platforms.Config.Amazon_ec2 -> "amazon"
+          | Xc_platforms.Config.Google_gce -> "google"
+          | Xc_platforms.Config.Local_cluster -> "local") )
+
+let syscall_costs_cmd =
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let unpatched =
+    Arg.(value & flag & info [ "unpatched" ] ~doc:"Without the Meltdown patches.")
+  in
+  let run cloud unpatched =
+    let t =
+      Xc_sim.Table.create
+        [
+          ("platform", Xc_sim.Table.Left);
+          ("syscall entry", Xc_sim.Table.Right);
+          ("interrupt", Xc_sim.Table.Right);
+          ("process switch", Xc_sim.Table.Right);
+          ("fork", Xc_sim.Table.Right);
+        ]
+    in
+    List.iter
+      (fun runtime ->
+        let config =
+          Xc_platforms.Config.make ~cloud ~meltdown_patched:(not unpatched) runtime
+        in
+        let p = Xc_platforms.Platform.create config in
+        let ns v = Printf.sprintf "%.0fns" v in
+        Xc_sim.Table.add_row t
+          [
+            Xc_platforms.Config.name config;
+            ns (Xc_platforms.Platform.syscall_entry_ns p);
+            ns (Xc_platforms.Platform.irq_ns p);
+            ns (Xc_platforms.Platform.process_switch_ns p);
+            Printf.sprintf "%.1fus" (Xc_platforms.Platform.fork_ns p /. 1e3);
+          ])
+      [
+        Xc_platforms.Config.Docker;
+        Xc_platforms.Config.Gvisor;
+        Xc_platforms.Config.Clear_container;
+        Xc_platforms.Config.Xen_container;
+        Xc_platforms.Config.X_container;
+        Xc_platforms.Config.Unikernel;
+        Xc_platforms.Config.Graphene;
+      ];
+    Xc_sim.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "syscall-costs" ~doc:"The calibrated per-platform cost table.")
+    Term.(const run $ cloud $ unpatched)
+
+(* ---------------- xc profile / profiles ---------------- *)
+
+let profile_cmd =
+  let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
+  let invocations =
+    Arg.(value & opt int 50_000 & info [ "invocations" ] ~doc:"Workload size.")
+  in
+  let run name invocations =
+    match Xc_apps.Profiles.find name with
+    | None -> exit_err ("unknown application: " ^ name)
+    | Some profile ->
+        let m = Xc_apps.Profiles.measure ~invocations profile in
+        Format.printf "%s (%s), driven by %s@." profile.name profile.implementation
+          profile.benchmark;
+        Format.printf "  syscall sites: %d (%d patched online)@."
+          (List.length profile.sites) m.sites_patched;
+        Format.printf "  online ABOM reduction:  %.2f%% (paper: %.1f%%)@."
+          (100. *. m.auto_reduction)
+          (100. *. profile.paper_reduction);
+        Format.printf "  with offline tool:      %.2f%%%s@."
+          (100. *. m.manual_reduction)
+          (match profile.paper_manual_reduction with
+          | Some v -> Printf.sprintf " (paper: %.1f%%)" (100. *. v)
+          | None -> "");
+        Format.printf "  atomic cmpxchg stores:  %d@." m.cmpxchg_ops
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Measure ABOM coverage for one Table 1 application.")
+    Term.(const run $ app_arg $ invocations)
+
+let profiles_cmd =
+  let run () =
+    List.iter
+      (fun (p : Xc_apps.Profiles.profile) ->
+        Printf.printf "%-20s %-14s %s\n" p.name p.implementation p.benchmark)
+      Xc_apps.Profiles.all
+  in
+  Cmd.v (Cmd.info "profiles" ~doc:"List the Table 1 applications.") Term.(const run $ const ())
+
+(* ---------------- xc boot-times ---------------- *)
+
+let boot_times_cmd =
+  let run () =
+    List.iter
+      (fun (r : Xcontainers.Figures.boot_row) ->
+        Format.printf "%-34s %a@." r.label Xcontainers.Boot.pp r.breakdown)
+      (Xcontainers.Figures.boot_times ())
+  in
+  Cmd.v
+    (Cmd.info "boot-times" ~doc:"Instantiation-time comparison (Section 4.5).")
+    Term.(const run $ const ())
+
+(* ---------------- xc migrate ---------------- *)
+
+let migrate_cmd =
+  let memory = Arg.(value & opt int 128 & info [ "memory"; "m" ] ~doc:"Guest MB.") in
+  let dirty =
+    Arg.(value & opt float 5000. & info [ "dirty-rate" ] ~doc:"Dirtied pages/s.")
+  in
+  let gbps = Arg.(value & opt float 1.0 & info [ "link" ] ~doc:"Migration link Gb/s.") in
+  let run memory dirty gbps =
+    let params =
+      {
+        (Xc_hypervisor.Migration.default_params ~memory_mb:memory) with
+        dirty_pages_per_s = dirty;
+        link_gbps = gbps;
+      }
+    in
+    let r = Xc_hypervisor.Migration.migrate params in
+    List.iter
+      (fun (round : Xc_hypervisor.Migration.round) ->
+        Printf.printf "round %2d: %7d pages, %8.1fms\n" round.index
+          round.pages_sent
+          (round.duration_ns /. 1e6))
+      r.rounds;
+    Printf.printf "total: %d pages in %.0fms, downtime %.1fms, %s\n"
+      r.total_pages_sent (r.total_ns /. 1e6) (r.downtime_ns /. 1e6)
+      (if r.converged then "converged" else "forced stop-and-copy")
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"Pre-copy live migration of an X-Container.")
+    Term.(const run $ memory $ dirty $ gbps)
+
+(* ---------------- xc clone ---------------- *)
+
+let clone_cmd =
+  let memory = Arg.(value & opt int 128 & info [ "memory"; "m" ] ~doc:"Guest MB.") in
+  let resident =
+    Arg.(value & opt int 2048 & info [ "resident" ] ~doc:"Hot pages copied eagerly.")
+  in
+  let run memory resident =
+    let s = Xcontainers.Cloning.snapshot_of_parent ~memory_mb:memory ~resident_pages:resident in
+    let c = Xcontainers.Cloning.clone s in
+    Printf.printf "toolstack      %8.2fms\n" (c.toolstack_ns /. 1e6);
+    Printf.printf "CoW setup      %8.2fms\n" (c.page_sharing_setup_ns /. 1e6);
+    Printf.printf "eager copy     %8.2fms\n" (c.eager_copy_ns /. 1e6);
+    Printf.printf "total          %8.2fms  (%.0fx faster than a cold boot)\n"
+      (c.total_ns /. 1e6)
+      (Xcontainers.Cloning.speedup_vs_cold_boot s)
+  in
+  Cmd.v
+    (Cmd.info "clone" ~doc:"SnowFlock-style clone of a warm X-Container.")
+    Term.(const run $ memory $ resident)
+
+(* ---------------- xc security ---------------- *)
+
+let security_cmd =
+  let run () =
+    List.iter
+      (fun (p : Xcontainers.Security.profile) ->
+        Printf.printf "%-16s %-22s TCB %6d kLoC, surface %3d, exposure %.4f\n"
+          (Xc_platforms.Config.runtime_name p.runtime)
+          (Xcontainers.Security.boundary_name p.boundary)
+          p.tcb_kloc p.attack_surface
+          (Xcontainers.Security.vulnerability_exposure p))
+      Xcontainers.Security.all
+  in
+  Cmd.v
+    (Cmd.info "security" ~doc:"TCB / attack-surface comparison (Section 3.4).")
+    Term.(const run $ const ())
+
+(* ---------------- xc coldstart ---------------- *)
+
+let coldstart_cmd =
+  let rate =
+    Arg.(value & opt float 0.05 & info [ "rate" ] ~doc:"Invocations per second.")
+  in
+  let run rate =
+    List.iter
+      (fun path ->
+        let r =
+          Xc_apps.Coldstart.run path (Xc_apps.Coldstart.default_config ~rate_rps:rate)
+        in
+        Printf.printf "%-28s cold %3d/%d  p50 %7.0fms  p99 %7.0fms\n"
+          (Xc_apps.Coldstart.spawn_path_name path)
+          r.cold_starts r.invocations
+          (r.p50_latency_ns /. 1e6)
+          (r.p99_latency_ns /. 1e6))
+      Xc_apps.Coldstart.all_paths
+  in
+  Cmd.v
+    (Cmd.info "coldstart" ~doc:"Serverless cold-start tails by spawn path.")
+    Term.(const run $ rate)
+
+(* ---------------- xc build-binary / patch-binary ---------------- *)
+
+let styles_arg =
+  Arg.(value
+      & opt (list style_conv) [ Xc_isa.Builder.Glibc_small; Xc_isa.Builder.Glibc_wide ]
+      & info [ "styles" ] ~doc:"Comma-separated wrapper styles.")
+
+let build_binary_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run out styles =
+    let wrappers = List.mapi (fun i style -> (style, i)) styles in
+    let prog = Xc_isa.Builder.build wrappers in
+    Xc_isa.Xelf.save prog.image ~path:out;
+    Printf.printf "wrote %s: %d bytes, %d syscall sites\n" out
+      (Xc_isa.Image.size prog.image)
+      (List.length prog.sites)
+  in
+  Cmd.v
+    (Cmd.info "build-binary" ~doc:"Assemble a synthetic binary into a XELF file.")
+    Term.(const run $ out $ styles_arg)
+
+let patch_binary_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let aggressive =
+    Arg.(value & flag & info [ "aggressive" ] ~doc:"Also rewrite cancellable sites.")
+  in
+  let run file aggressive =
+    match Xc_isa.Xelf.load ~path:file with
+    | Error e -> exit_err e
+    | Ok img ->
+        let patcher = Xc_abom.Patcher.create (Xc_abom.Entry_table.create ()) in
+        let report = Xc_abom.Offline_tool.patch_image ~aggressive patcher img in
+        Xc_isa.Xelf.save img ~path:file;
+        Format.printf "%a; rewrote %s in place@." Xc_abom.Offline_tool.pp_report
+          report file
+  in
+  Cmd.v
+    (Cmd.info "patch-binary"
+       ~doc:"Run the offline ABOM tool over a XELF binary at rest.")
+    Term.(const run $ file $ aggressive)
+
+let disasm_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    match Xc_isa.Xelf.load ~path:file with
+    | Error e -> exit_err e
+    | Ok img ->
+        List.iter
+          (fun (s : Xc_isa.Image.symbol) ->
+            Printf.printf "<%s>:\n%s\n\n" s.name
+              (Xc_isa.Image.disassemble_range img ~off:s.offset
+                 ~len:(Stdlib.min s.size (Xc_isa.Image.size img - s.offset))))
+          (Xc_isa.Image.symbols img)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a XELF binary by symbol.")
+    Term.(const run $ file)
+
+(* ---------------- xc profile-binary ---------------- *)
+
+let profile_binary_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let iterations =
+    Arg.(value & opt int 200 & info [ "iterations"; "n" ] ~doc:"Workload runs.")
+  in
+  let run file iterations =
+    match Xc_isa.Xelf.load ~path:file with
+    | Error e -> exit_err e
+    | Ok img ->
+        let entry =
+          match Xc_isa.Image.find_symbol img "main" with
+          | Some s -> s.Xc_isa.Image.offset
+          | None -> 0
+        in
+        let patcher = Xc_abom.Patcher.create (Xc_abom.Entry_table.create ()) in
+        let config = Xc_abom.Patcher.machine_config patcher () in
+        let m = Xc_isa.Machine.create ~config img ~entry in
+        for _ = 1 to iterations do
+          Xc_isa.Machine.reset m ~entry;
+          match Xc_isa.Machine.run ~fuel:1_000_000 m with
+          | Xc_isa.Machine.Halted -> ()
+          | Fault msg -> exit_err msg
+          | Fuel_exhausted -> exit_err "fuel exhausted"
+        done;
+        Format.printf "%a@." Xc_abom.Profile.pp (Xc_abom.Profile.of_machine m)
+  in
+  Cmd.v
+    (Cmd.info "profile-binary"
+       ~doc:"Run a XELF binary under the X-Kernel and print its syscall profile.")
+    Term.(const run $ file $ iterations)
+
+(* ---------------- xc experiments ---------------- *)
+
+let experiments_cmd =
+  let run () =
+    print_endline "paper experiments:";
+    List.iter
+      (fun e -> Format.printf "  %a@." Xcontainers.Inventory.pp_entry e)
+      Xcontainers.Inventory.paper_entries;
+    print_endline "extensions:";
+    List.iter
+      (fun e -> Format.printf "  %a@." Xcontainers.Inventory.pp_entry e)
+      Xcontainers.Inventory.extension_entries;
+    print_endline "";
+    print_endline "run any of them with:  dune exec bench/main.exe <id>"
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"List every reproducible experiment.")
+    Term.(const run $ const ())
+
+(* ---------------- xc run-app ---------------- *)
+
+let app_conv =
+  let table =
+    [
+      ("nginx", `Nginx); ("memcached", `Memcached); ("redis", `Redis);
+      ("etcd", `Etcd); ("mongodb", `Mongo); ("postgres", `Postgres);
+      ("rabbitmq", `Rabbitmq); ("mysql", `Mysql); ("fluentd", `Fluentd);
+      ("elasticsearch", `Elasticsearch); ("influxdb", `Influxdb);
+    ]
+  in
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) table with
+    | Some app -> Ok app
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown app %S; one of: %s" s
+                (String.concat ", " (List.map fst table))))
+  in
+  let print fmt app =
+    let name = List.find (fun (_, a) -> a = app) table |> fst in
+    Format.pp_print_string fmt name
+  in
+  Arg.conv (parse, print)
+
+let runtime_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "docker" -> Ok Xc_platforms.Config.Docker
+    | "gvisor" -> Ok Xc_platforms.Config.Gvisor
+    | "clear" -> Ok Xc_platforms.Config.Clear_container
+    | "xen-container" -> Ok Xc_platforms.Config.Xen_container
+    | "x-container" | "xc" -> Ok Xc_platforms.Config.X_container
+    | other -> Error (`Msg ("unknown runtime: " ^ other))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt r -> Format.pp_print_string fmt (Xc_platforms.Config.runtime_name r) )
+
+let run_app_cmd =
+  let app_arg =
+    Arg.(value & opt app_conv `Nginx & info [ "app"; "a" ] ~doc:"Application.")
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let connections =
+    Arg.(value & opt int 64 & info [ "connections" ] ~doc:"Concurrent clients.")
+  in
+  let run app runtime connections =
+    let config = Xc_platforms.Config.make runtime in
+    let platform = Xc_platforms.Platform.create config in
+    let server = Xcontainers.Figures.server_for_public config platform app in
+    let result =
+      Xc_platforms.Closed_loop.run
+        { Xc_platforms.Closed_loop.default_config with connections }
+        server
+    in
+    Printf.printf
+      "%s on %s: %.0f req/s (p50 %.0fus, p99 %.0fus, %d served in 2s simulated)\n"
+      (Format.asprintf "%a" (Arg.conv_printer app_conv) app)
+      (Xc_platforms.Config.name config)
+      result.throughput_rps
+      (result.p50_ns /. 1e3)
+      (result.p99_ns /. 1e3)
+      result.completed
+  in
+  Cmd.v
+    (Cmd.info "run-app"
+       ~doc:"Closed-loop benchmark of any modelled application on any runtime.")
+    Term.(const run $ app_arg $ runtime $ connections)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let info =
+    Cmd.info "xc" ~version:"1.0.0"
+      ~doc:"X-Containers (ASPLOS'19) reproduction playground."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            boot_cmd;
+            abom_cmd;
+            platforms_cmd;
+            syscall_costs_cmd;
+            profile_cmd;
+            profiles_cmd;
+            boot_times_cmd;
+            migrate_cmd;
+            clone_cmd;
+            security_cmd;
+            coldstart_cmd;
+            build_binary_cmd;
+            patch_binary_cmd;
+            disasm_cmd;
+            profile_binary_cmd;
+            experiments_cmd;
+            run_app_cmd;
+          ]))

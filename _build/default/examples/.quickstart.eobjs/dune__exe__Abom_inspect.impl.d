@@ -1,0 +1,1 @@
+examples/abom_inspect.ml: Builder Format Image List Machine Xc_abom Xc_isa

@@ -1,0 +1,1 @@
+examples/abom_inspect.mli:

@@ -1,0 +1,1 @@
+examples/kernel_custom_lb.ml: List Printf Xc_apps Xc_net Xc_sim

@@ -1,0 +1,1 @@
+examples/offline_patch_pipeline.ml: Builder Filename Format Image Machine Printf Sys Xc_abom Xc_isa Xelf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Xc_hypervisor Xc_isa Xc_platforms Xcontainers

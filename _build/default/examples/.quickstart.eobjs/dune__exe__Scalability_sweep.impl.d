@@ -1,0 +1,1 @@
+examples/scalability_sweep.ml: List Printf Xc_apps Xc_platforms Xc_sim

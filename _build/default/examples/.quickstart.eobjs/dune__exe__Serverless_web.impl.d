@@ -1,0 +1,1 @@
+examples/serverless_web.ml: List Printf Xc_apps Xc_platforms Xc_sim

@@ -1,0 +1,1 @@
+lib/abom/entry_table.ml: Int64 List Xc_isa

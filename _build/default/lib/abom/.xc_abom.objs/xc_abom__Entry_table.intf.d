@@ -1,0 +1,1 @@
+lib/abom/entry_table.mli: Xc_isa

@@ -1,0 +1,1 @@
+lib/abom/offline_tool.ml: Bytes Entry_table Format List Patcher Xc_isa

@@ -1,0 +1,1 @@
+lib/abom/offline_tool.mli: Format Patcher Xc_isa

@@ -1,0 +1,1 @@
+lib/abom/patcher.ml: Entry_table Hashtbl List Xc_isa

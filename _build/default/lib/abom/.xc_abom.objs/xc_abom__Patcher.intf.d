@@ -1,0 +1,1 @@
+lib/abom/patcher.mli: Entry_table Xc_isa

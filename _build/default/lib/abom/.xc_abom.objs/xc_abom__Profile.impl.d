@@ -1,0 +1,1 @@
+lib/abom/profile.ml: Format Hashtbl List Printf Xc_isa Xc_os

@@ -1,0 +1,1 @@
+lib/abom/profile.mli: Format Xc_isa

@@ -1,0 +1,59 @@
+module Image = Xc_isa.Image
+module Insn = Xc_isa.Insn
+module Codec = Xc_isa.Codec
+
+type report = { sites_seen : int; sites_patched : int; sites_skipped : int }
+
+(* Cancellable pattern: mov $n,%eax (5) + nop2 (2) + syscall (2) = 9 bytes,
+   rewritten as call *entry (7) + jmp -9 (2).  Only valid offline: the
+   intermediate state is not equivalent, but the process is not running. *)
+let try_cancellable patcher image ~syscall_off =
+  if syscall_off < 7 then false
+  else begin
+    (* Layout: [mov $n,%eax (5)][xchg %ax,%ax (2)][syscall (2)], so the
+       nop sits at -2 and the mov at -7 relative to the syscall. *)
+    match (Image.insn_at image (syscall_off - 2), Image.insn_at image (syscall_off - 7))
+    with
+    | (Insn.Nop2, 2), (Insn.Mov_eax_imm32 sysno, 5)
+      when sysno < Entry_table.max_syscalls ->
+        let addr = Entry_table.address_of (Patcher.table patcher) sysno in
+        let start = syscall_off - 7 in
+        (* Rewrite the whole 9-byte chunk: call (over mov+nop) then a jmp
+           (over the syscall) bouncing stray entries back onto the call. *)
+        let buf = Bytes.create 9 in
+        ignore (Codec.encode_into buf 0 (Insn.Call_abs addr));
+        ignore (Codec.encode_into buf 7 (Insn.Jmp_rel8 (-9)));
+        (match Image.write image ~off:start buf ~wp_override:true with
+        | Ok () -> true
+        | Error msg -> failwith ("offline patch failed: " ^ msg))
+    | _ -> false
+  end
+
+let patch_image ?(aggressive = false) patcher image =
+  (* Linear sweep; collect syscall offsets first because patching shifts
+     instruction boundaries behind the cursor. *)
+  let syscall_offs =
+    Codec.decode_all (Image.code image)
+    |> List.filter_map (fun (off, insn) ->
+           match insn with Insn.Syscall -> Some off | _ -> None)
+  in
+  let patched = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun syscall_off ->
+      match Patcher.patch_site patcher image ~syscall_off with
+      | Patched_case1 | Patched_case2 | Patched_9byte -> incr patched
+      | Already_patched -> incr skipped
+      | Unrecognized ->
+          if aggressive && try_cancellable patcher image ~syscall_off then
+            incr patched
+          else incr skipped)
+    syscall_offs;
+  {
+    sites_seen = List.length syscall_offs;
+    sites_patched = !patched;
+    sites_skipped = !skipped;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "syscall sites: %d, patched: %d, skipped: %d" r.sites_seen
+    r.sites_patched r.sites_skipped

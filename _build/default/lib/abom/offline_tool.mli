@@ -1,0 +1,27 @@
+(** Offline binary patching tool.
+
+    The paper complements online ABOM with an offline tool able to
+    "inject code into the binary and re-direct a bigger chunk of code" for
+    sites the online patcher cannot recognise — the motivating example
+    being the two cancellable-syscall locations in libpthread that hold
+    MySQL at 44.6% automatic reduction (92.2% after manual patching,
+    Table 1).
+
+    The offline tool scans the whole image ahead of time instead of
+    waiting for traps, so it may use non-atomic multi-instruction
+    rewrites: the process is not running. *)
+
+type report = {
+  sites_seen : int;  (** [syscall] instructions found by the linear sweep *)
+  sites_patched : int;
+  sites_skipped : int;
+}
+
+val patch_image :
+  ?aggressive:bool -> Patcher.t -> Xc_isa.Image.t -> report
+(** Sweep the image and patch every recognised site.  With
+    [~aggressive:true] the cancellable pattern
+    [mov $n,%eax; xchg %ax,%ax; syscall] is also rewritten (the manual
+    libpthread patch), redirecting the whole 9-byte chunk. *)
+
+val pp_report : Format.formatter -> report -> unit

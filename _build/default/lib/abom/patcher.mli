@@ -1,0 +1,50 @@
+(** The online Automatic Binary Optimization Module.
+
+    Runs inside the X-Kernel: when a [syscall] instruction traps, ABOM
+    inspects the bytes around it and, if they match a recognised wrapper
+    pattern, rewrites the pair in place so every later execution takes a
+    function call instead of a trap (Section 4.4, Figure 2).
+
+    Patches are applied with simulated [cmpxchg] stores of at most eight
+    bytes, honouring the paper's concurrency-safety argument: every
+    intermediate byte state must itself be a valid, equivalent program.
+    The two-phase 9-byte replacement is therefore two atomic stores, and
+    [patch_site ~stop_after_phase1:true] lets tests freeze and execute the
+    intermediate state. *)
+
+type outcome =
+  | Patched_case1  (** 7-byte replacement of [mov $n,%eax; syscall] *)
+  | Patched_case2  (** 7-byte replacement of [mov 0x8(%rsp),%rax; syscall] *)
+  | Patched_9byte  (** two-phase replacement of [mov $n,%rax; syscall] *)
+  | Already_patched  (** another vCPU patched this site first *)
+  | Unrecognized  (** no pattern; the syscall keeps trapping *)
+
+val outcome_to_string : outcome -> string
+
+type t
+(** Patcher state: entry table plus patch statistics. *)
+
+val create : Entry_table.t -> t
+val table : t -> Entry_table.t
+
+val patch_site :
+  ?stop_after_phase1:bool -> t -> Xc_isa.Image.t -> syscall_off:int -> outcome
+(** Attempt to rewrite the site whose [syscall] instruction starts at
+    [syscall_off].  Write-protected pages are overridden (the CR0.WP
+    dance) and end up dirty. *)
+
+(** Statistics since [create]. *)
+
+val patched_sites : t -> int
+val unrecognized_sites : t -> int
+val cmpxchg_ops : t -> int
+val outcomes : t -> (outcome * int) list
+
+(** {2 Machine integration} *)
+
+val machine_config :
+  ?enabled:bool -> t -> unit -> Xc_isa.Machine.config
+(** A machine configuration wired to this patcher: syscall traps invoke
+    [patch_site], patched calls resolve through the entry table, and the
+    X-Kernel fixups are active.  [~enabled:false] gives the same
+    environment with ABOM turned off (for the Table 1 baseline). *)

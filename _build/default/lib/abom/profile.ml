@@ -1,0 +1,84 @@
+module Machine = Xc_isa.Machine
+
+type site_stat = {
+  site : int;
+  sysno : int;
+  invocations : int;
+  trapped : int;
+}
+
+type t = {
+  total : int;
+  trapped : int;
+  converted : int;
+  by_sysno : (int * int) list;
+  sites : site_stat list;
+}
+
+let of_events events =
+  let total = List.length events in
+  let trapped =
+    List.length (List.filter (fun (e : Machine.event) -> e.kind = `Trap) events)
+  in
+  let by_sysno_tbl = Hashtbl.create 16 in
+  let by_site_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Machine.event) ->
+      let bump tbl key f =
+        Hashtbl.replace tbl key (f (Hashtbl.find_opt tbl key))
+      in
+      bump by_sysno_tbl e.sysno (function Some n -> n + 1 | None -> 1);
+      bump by_site_tbl e.site (function
+        | Some (sysno, inv, traps) ->
+            (sysno, inv + 1, if e.kind = `Trap then traps + 1 else traps)
+        | None -> (e.sysno, 1, if e.kind = `Trap then 1 else 0)))
+    events;
+  let by_sysno =
+    Hashtbl.fold (fun sysno n acc -> (sysno, n) :: acc) by_sysno_tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let sites =
+    Hashtbl.fold
+      (fun site (sysno, invocations, trapped) acc ->
+        { site; sysno; invocations; trapped } :: acc)
+      by_site_tbl []
+    |> List.sort (fun (a : site_stat) (b : site_stat) ->
+           compare b.invocations a.invocations)
+  in
+  { total; trapped; converted = total - trapped; by_sysno; sites }
+
+let of_machine m = of_events (Machine.events m)
+
+let reduction t =
+  if t.total = 0 then 0. else float_of_int t.converted /. float_of_int t.total
+
+let hot_unconverted ?(top = 5) t =
+  t.sites
+  |> List.filter (fun (s : site_stat) -> s.trapped > 0)
+  |> List.sort (fun (a : site_stat) (b : site_stat) -> compare b.trapped a.trapped)
+  |> List.filteri (fun i _ -> i < top)
+
+let sysno_name n =
+  match Xc_os.Syscall_nr.of_number n with
+  | Some s -> Xc_os.Syscall_nr.name s
+  | None -> Printf.sprintf "sys_%d" n
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "syscalls: %d total, %d converted (%.2f%%), %d trapped@,"
+    t.total t.converted (100. *. reduction t) t.trapped;
+  Format.fprintf fmt "top syscalls:@,";
+  List.iteri
+    (fun i (sysno, n) ->
+      if i < 5 then Format.fprintf fmt "  %-12s %8d@," (sysno_name sysno) n)
+    t.by_sysno;
+  (match hot_unconverted t with
+  | [] -> Format.fprintf fmt "no unconverted sites@,"
+  | hot ->
+      Format.fprintf fmt "hot unconverted sites (offline-tool candidates):@,";
+      List.iter
+        (fun (s : site_stat) ->
+          Format.fprintf fmt "  site 0x%x (%s): %d traps of %d calls@," s.site
+            (sysno_name s.sysno) s.trapped s.invocations)
+        hot);
+  Format.pp_close_box fmt ()

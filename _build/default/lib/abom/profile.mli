@@ -1,0 +1,38 @@
+(** Syscall profiling over machine traces.
+
+    Section 3.1 argues compatibility extends to "profiling, debugging and
+    deploying tools"; this module is the reproduction's profiler: it
+    digests a machine's event stream into per-syscall and per-site
+    statistics — which syscalls dominate, which sites stayed unconverted
+    (the ones worth offline patching), and the overall conversion rate
+    the paper's Table 1 counter reports. *)
+
+type site_stat = {
+  site : int;  (** code offset of the call site *)
+  sysno : int;
+  invocations : int;
+  trapped : int;  (** still going through the X-Kernel *)
+}
+
+type t = {
+  total : int;
+  trapped : int;
+  converted : int;
+  by_sysno : (int * int) list;  (** sysno, invocations; descending *)
+  sites : site_stat list;  (** by invocations, descending *)
+}
+
+val of_events : Xc_isa.Machine.event list -> t
+
+val of_machine : Xc_isa.Machine.t -> t
+
+val reduction : t -> float
+(** Converted fraction (Table 1's metric); [0.] when empty. *)
+
+val hot_unconverted : ?top:int -> t -> site_stat list
+(** The sites worth feeding to the offline tool: still trapping, ordered
+    by how often they run (default top 5). *)
+
+val pp : Format.formatter -> t -> unit
+(** A small report: totals, reduction, top syscalls, hot unconverted
+    sites. *)

@@ -1,0 +1,1 @@
+lib/apps/coldstart.ml: List Xc_sim

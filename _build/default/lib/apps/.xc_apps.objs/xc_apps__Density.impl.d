@@ -1,0 +1,1 @@
+lib/apps/density.ml: Float Stdlib Xc_hypervisor

@@ -1,0 +1,1 @@
+lib/apps/elasticsearch.mli: Recipe Xc_platforms

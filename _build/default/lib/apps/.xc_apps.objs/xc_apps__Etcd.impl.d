@@ -1,0 +1,1 @@
+lib/apps/etcd.ml: Float List Recipe Stdlib Xc_os Xc_platforms Xc_sim

@@ -1,0 +1,1 @@
+lib/apps/etcd.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/fluentd.mli: Recipe Xc_platforms

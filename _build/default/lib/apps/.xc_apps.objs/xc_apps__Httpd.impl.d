@@ -1,0 +1,1 @@
+lib/apps/httpd.ml: Bytes Printf String Xc_os

@@ -1,0 +1,1 @@
+lib/apps/influxdb.ml: Float Recipe Stdlib Xc_os Xc_platforms Xc_sim

@@ -1,0 +1,1 @@
+lib/apps/influxdb.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/kernel_build.ml: Float Xc_os Xc_platforms

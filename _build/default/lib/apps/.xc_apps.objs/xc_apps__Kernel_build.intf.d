@@ -1,0 +1,1 @@
+lib/apps/kernel_build.mli: Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/lb_experiment.ml: Float Nginx Recipe Xc_net Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/lb_experiment.mli:

@@ -1,0 +1,1 @@
+lib/apps/memcached.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/mongodb.ml: Float Recipe Stdlib Xc_os Xc_platforms Xc_sim

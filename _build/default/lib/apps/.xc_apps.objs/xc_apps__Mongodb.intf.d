@@ -1,0 +1,1 @@
+lib/apps/mongodb.mli: Recipe Xc_platforms

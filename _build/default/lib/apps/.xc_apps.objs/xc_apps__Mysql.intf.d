@@ -1,0 +1,1 @@
+lib/apps/mysql.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/php_app.ml: List Recipe Xc_os

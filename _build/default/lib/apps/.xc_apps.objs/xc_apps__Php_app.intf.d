@@ -1,0 +1,1 @@
+lib/apps/php_app.mli: Recipe Xc_os

@@ -1,0 +1,1 @@
+lib/apps/postgres.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/profiles.ml: Array List String Xc_abom Xc_isa Xc_sim

@@ -1,0 +1,1 @@
+lib/apps/profiles.mli: Xc_isa

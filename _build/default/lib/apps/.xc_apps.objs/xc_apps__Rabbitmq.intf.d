@@ -1,0 +1,1 @@
+lib/apps/rabbitmq.mli: Recipe Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/recipe.ml: Float List Xc_os Xc_platforms Xc_sim

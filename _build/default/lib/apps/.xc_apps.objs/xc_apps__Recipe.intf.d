@@ -1,0 +1,1 @@
+lib/apps/recipe.mli: Xc_os Xc_platforms Xc_sim

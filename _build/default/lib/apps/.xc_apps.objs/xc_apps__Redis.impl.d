@@ -1,0 +1,1 @@
+lib/apps/redis.ml: Float Recipe Xc_os Xc_platforms Xc_sim

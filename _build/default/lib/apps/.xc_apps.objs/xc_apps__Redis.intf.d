@@ -1,0 +1,1 @@
+lib/apps/redis.mli: Recipe Xc_platforms

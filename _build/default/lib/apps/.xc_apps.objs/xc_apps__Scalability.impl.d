@@ -1,0 +1,1 @@
+lib/apps/scalability.ml: Float List Php_app Recipe Xc_cpu Xc_platforms

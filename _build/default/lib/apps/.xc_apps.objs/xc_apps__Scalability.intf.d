@@ -1,0 +1,1 @@
+lib/apps/scalability.mli: Xc_platforms

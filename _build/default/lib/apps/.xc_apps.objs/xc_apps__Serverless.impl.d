@@ -1,0 +1,1 @@
+lib/apps/serverless.ml: List Mysql Nginx Recipe Xc_cpu Xc_net Xc_os Xc_platforms

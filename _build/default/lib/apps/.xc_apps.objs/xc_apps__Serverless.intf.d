@@ -1,0 +1,1 @@
+lib/apps/serverless.mli: Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/unixbench.ml: Float Xc_net Xc_os Xc_platforms

@@ -1,0 +1,1 @@
+lib/apps/unixbench.mli: Xc_platforms

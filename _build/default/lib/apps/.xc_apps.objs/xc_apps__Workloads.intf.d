@@ -1,0 +1,1 @@
+lib/apps/workloads.mli: Xc_platforms

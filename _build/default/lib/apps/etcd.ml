@@ -1,0 +1,36 @@
+module K = Xc_os.Kernel
+
+let abom_coverage = 1.0
+
+let get_request =
+  Recipe.make ~name:"etcd-get" ~user_ns:4_200.
+    ~ops:[ K.Epoll; K.Socket_recv 120; K.Socket_send 480; K.Cheap Getpid ]
+    ~request_bytes:120 ~response_bytes:480 ~irqs:2 ~abom_coverage ()
+
+let put_request ?(peers = 0) () =
+  let wal = [ K.File_write 512; K.File_write 64 (* WAL entry + index *) ] in
+  let replication =
+    List.concat
+      (List.init peers (fun _ -> [ K.Socket_send 600; K.Epoll; K.Socket_recv 80 ]))
+  in
+  Recipe.make ~name:"etcd-put" ~user_ns:9_500.
+    ~ops:([ K.Epoll; K.Socket_recv 600 ] @ wal @ replication @ [ K.Socket_send 90 ])
+    ~request_bytes:600 ~response_bytes:90 ~irqs:(2 + peers) ~abom_coverage ()
+
+let mixed_request =
+  let r = get_request and w = put_request () in
+  Recipe.make ~name:"etcd-mixed"
+    ~user_ns:((0.75 *. r.Recipe.user_ns) +. (0.25 *. w.Recipe.user_ns))
+    ~ops:(r.Recipe.ops @ [ K.File_write 512 ] (* amortised WAL share *))
+    ~request_bytes:240 ~response_bytes:380 ~irqs:2 ~abom_coverage ()
+
+let server ~cores platform =
+  let base = Recipe.service_ns platform mixed_request in
+  {
+    Xc_platforms.Closed_loop.units = Stdlib.max 1 (Stdlib.min 4 cores);
+    service_ns =
+      (fun rng ->
+        let jitter = Xc_sim.Prng.normal rng ~mean:1.0 ~stddev:0.12 in
+        base *. Float.max 0.4 jitter);
+    overhead_ns = 0.;
+  }

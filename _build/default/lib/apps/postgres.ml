@@ -1,0 +1,39 @@
+module K = Xc_os.Kernel
+
+let abom_coverage = 0.998
+
+(* One pgbench TPC-B-ish transaction: 3 updates, 1 select, 1 insert,
+   WAL flush at commit. *)
+let transaction =
+  Recipe.make ~name:"pgbench-tx" ~user_ns:55_000.
+    ~ops:
+      [
+        K.Epoll;
+        K.Socket_recv 300;
+        K.File_read 8192;
+        K.File_write 8192;
+        K.File_read 8192;
+        K.File_write 8192;
+        K.File_read 8192;
+        K.File_write 8192;
+        K.File_write 600 (* WAL record *);
+        K.File_write 0 (* fsync-class commit, modelled as write barrier *);
+        K.Socket_send 150;
+      ]
+    ~request_bytes:300 ~response_bytes:150 ~irqs:2 ~abom_coverage ()
+
+let connection_setup_ns platform =
+  Xc_platforms.Platform.fork_ns platform
+  +. Xc_platforms.Platform.syscall_ns ~coverage:abom_coverage platform K.Accept_op
+  +. 60_000. (* auth handshake and catalogue warm-up *)
+
+let server ?(backends = 8) ~cores platform =
+  let base = Recipe.service_ns platform transaction in
+  {
+    Xc_platforms.Closed_loop.units = Stdlib.max 1 (Stdlib.min backends cores);
+    service_ns =
+      (fun rng ->
+        let jitter = Xc_sim.Prng.normal rng ~mean:1.0 ~stddev:0.2 in
+        base *. Float.max 0.3 jitter);
+    overhead_ns = 0.;
+  }

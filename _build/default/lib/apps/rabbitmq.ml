@@ -1,0 +1,36 @@
+module K = Xc_os.Kernel
+
+let abom_coverage = 0.986
+
+let publish_transient =
+  Recipe.make ~name:"rabbitmq-publish" ~user_ns:11_000.
+    ~ops:
+      [
+        (* producer leg *)
+        K.Epoll;
+        K.Socket_recv 1200;
+        K.Cheap Getpid;
+        (* route + consumer leg *)
+        K.Socket_send 1200;
+        K.Epoll;
+        K.Socket_recv 60 (* ack *);
+        K.Socket_send 60;
+      ]
+    ~request_bytes:1200 ~response_bytes:60 ~irqs:4 ~abom_coverage ()
+
+let publish_persistent =
+  Recipe.make ~name:"rabbitmq-publish-persistent"
+    ~user_ns:13_000.
+    ~ops:(publish_transient.Recipe.ops @ [ K.File_write 1300; K.File_write 0 ])
+    ~request_bytes:1200 ~response_bytes:60 ~irqs:4 ~abom_coverage ()
+
+let server ~cores platform =
+  let base = Recipe.service_ns platform publish_transient in
+  {
+    Xc_platforms.Closed_loop.units = Stdlib.max 1 (Stdlib.min 4 cores);
+    service_ns =
+      (fun rng ->
+        let jitter = Xc_sim.Prng.normal rng ~mean:1.0 ~stddev:0.15 in
+        base *. Float.max 0.4 jitter);
+    overhead_ns = 0.;
+  }

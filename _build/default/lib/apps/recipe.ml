@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  user_ns : float;
+  ops : Xc_os.Kernel.op list;
+  request_bytes : int;
+  response_bytes : int;
+  process_hops : int;
+  irqs : int;
+  abom_coverage : float;
+}
+
+let make ~name ~user_ns ~ops ?(request_bytes = 256) ?(response_bytes = 1024)
+    ?(process_hops = 0) ?(irqs = 2) ?(abom_coverage = 1.0) () =
+  {
+    name;
+    user_ns;
+    ops;
+    request_bytes;
+    response_bytes;
+    process_hops;
+    irqs;
+    abom_coverage;
+  }
+
+let syscall_count t = List.length t.ops
+
+let syscalls_ns platform t =
+  List.fold_left
+    (fun acc op ->
+      acc +. Xc_platforms.Platform.syscall_ns ~coverage:t.abom_coverage platform op)
+    0. t.ops
+
+let cpu_only_ns platform t =
+  t.user_ns +. syscalls_ns platform t
+  +. (float_of_int t.process_hops
+     *. Xc_platforms.Platform.process_switch_ns platform)
+  +. (float_of_int t.irqs *. Xc_platforms.Platform.irq_ns platform)
+
+let service_ns platform t =
+  cpu_only_ns platform t
+  +. Xc_platforms.Platform.request_net_ns platform ~request_bytes:t.request_bytes
+       ~response_bytes:t.response_bytes
+
+let with_jitter t platform ~cv rng =
+  let base = service_ns platform t in
+  if cv <= 0. then base
+  else begin
+    let sample = Xc_sim.Prng.normal rng ~mean:1.0 ~stddev:cv in
+    base *. Float.max 0.2 sample
+  end

@@ -1,0 +1,43 @@
+(** Request recipes.
+
+    An application is modelled by what one request makes the kernel do: a
+    fixed amount of user-space work, a list of system calls, the bytes
+    exchanged on the network, and how many times the request hops between
+    processes of the same container (e.g. NGINX -> PHP-FPM -> NGINX).
+    Given a platform, the recipe prices out to a service time. *)
+
+type t = {
+  name : string;
+  user_ns : float;  (** pure user-space CPU per request *)
+  ops : Xc_os.Kernel.op list;  (** system calls issued per request *)
+  request_bytes : int;
+  response_bytes : int;
+  process_hops : int;  (** intra-container process switches per request *)
+  irqs : int;  (** network interrupts triggered per request *)
+  abom_coverage : float;  (** Table 1 dynamic coverage for this app *)
+}
+
+val make :
+  name:string ->
+  user_ns:float ->
+  ops:Xc_os.Kernel.op list ->
+  ?request_bytes:int ->
+  ?response_bytes:int ->
+  ?process_hops:int ->
+  ?irqs:int ->
+  ?abom_coverage:float ->
+  unit ->
+  t
+
+val syscall_count : t -> int
+
+val service_ns : Xc_platforms.Platform.t -> t -> float
+(** Full per-request server-side service time on a platform. *)
+
+val cpu_only_ns : Xc_platforms.Platform.t -> t -> float
+(** Service time without the network component (for pipelined stages). *)
+
+val with_jitter :
+  t -> Xc_platforms.Platform.t -> cv:float -> Xc_sim.Prng.t -> float
+(** Sample a service time with lognormal-ish jitter of coefficient of
+    variation [cv] around the deterministic value. *)

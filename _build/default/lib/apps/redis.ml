@@ -1,0 +1,19 @@
+module K = Xc_os.Kernel
+
+let abom_coverage = 1.0
+
+let request =
+  Recipe.make ~name:"redis-mixed" ~user_ns:3_600.
+    ~ops:[ K.Epoll; K.Socket_recv 64; K.Socket_send 256 ]
+    ~request_bytes:64 ~response_bytes:256 ~irqs:3 ~abom_coverage ()
+
+let server ~cores:_ platform =
+  let base = Recipe.service_ns platform request in
+  {
+    Xc_platforms.Closed_loop.units = 1;
+    service_ns =
+      (fun rng ->
+        let jitter = Xc_sim.Prng.normal rng ~mean:1.0 ~stddev:0.10 in
+        base *. Float.max 0.5 jitter);
+    overhead_ns = 0.;
+  }

@@ -1,0 +1,34 @@
+(** The UnixBench microbenchmarks (Section 5.4, Figures 4 and 5).
+
+    Each function returns the benchmark's rate (iterations or operations
+    per second) on a platform; the figures report these normalised to
+    patched Docker.  The per-iteration composition follows the UnixBench
+    sources the paper names:
+
+    - System Call: one loop iteration = dup, close, getpid, getuid,
+      umask (five cheap non-blocking syscalls);
+    - Execl: repeatedly overlay the process with a fresh binary;
+    - File Copy: read+write with a 1 KB buffer;
+    - Pipe Throughput: one process writes and reads its own pipe (512 B);
+    - Context Switching: two processes ping-pong over a pipe pair;
+    - Process Creation: fork + exit + wait. *)
+
+type test =
+  | Syscall_rate
+  | Execl
+  | File_copy
+  | Pipe_throughput
+  | Context_switching
+  | Process_creation
+  | Iperf
+
+val test_name : test -> string
+val all_micro : test list
+(** Every test except [Syscall_rate] and [Iperf] (Figure 5's panels). *)
+
+val rate : Xc_platforms.Platform.t -> test -> float
+(** Single-copy score: iterations (or, for [Iperf], bits) per second. *)
+
+val concurrent_rate : Xc_platforms.Platform.t -> copies:int -> test -> float
+(** Aggregate score of [copies] concurrent instances.  Platforms sharing
+    one kernel contend on locks; per-container kernels scale better. *)

@@ -1,0 +1,1 @@
+lib/core/xcontainers.ml: Boot Cloning Docker_wrapper Experiment Figures Inventory Security Spec Storage Xc_abom Xc_apps Xc_cpu Xc_hypervisor Xc_isa Xc_mem Xc_net Xc_os Xc_platforms Xc_sim Xcontainer

@@ -1,0 +1,1 @@
+lib/core/boot.ml: Format List Printf Xc_hypervisor

@@ -1,0 +1,1 @@
+lib/core/cloning.ml: Boot Xc_cpu

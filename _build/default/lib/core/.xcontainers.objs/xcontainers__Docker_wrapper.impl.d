@@ -1,0 +1,1 @@
+lib/core/docker_wrapper.ml: List Printf String Xc_apps Xc_isa

@@ -1,0 +1,1 @@
+lib/core/docker_wrapper.mli: Xc_apps Xc_isa

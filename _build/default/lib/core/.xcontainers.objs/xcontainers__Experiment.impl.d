@@ -1,0 +1,1 @@
+lib/core/experiment.ml: List Option Xc_sim

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Boot List Option Xc_apps Xc_platforms

@@ -1,0 +1,1 @@
+lib/core/figures.mli: Boot Xc_apps Xc_platforms

@@ -1,0 +1,1 @@
+lib/core/security.ml: List Xc_hypervisor Xc_platforms

@@ -1,0 +1,1 @@
+lib/core/xcontainer.ml: Boot Docker_wrapper List Option Spec Stdlib Xc_abom Xc_apps Xc_hypervisor Xc_isa Xc_os

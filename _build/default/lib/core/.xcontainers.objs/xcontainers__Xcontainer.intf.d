@@ -1,0 +1,1 @@
+lib/core/xcontainer.mli: Boot Docker_wrapper Spec Xc_abom Xc_hypervisor Xc_isa Xc_os Xc_platforms

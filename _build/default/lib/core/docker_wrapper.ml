@@ -1,0 +1,82 @@
+type image = {
+  name : string;
+  entry_program : Xc_isa.Builder.program option;
+  recipe : Xc_apps.Recipe.t option;
+}
+
+(* A plausible glibc-wrapped server binary for ABOM-level runs. *)
+let server_program () =
+  Xc_isa.Builder.build
+    [
+      (Xc_isa.Builder.Glibc_small, 0);
+      (Xc_isa.Builder.Glibc_small, 1);
+      (Xc_isa.Builder.Glibc_small, 232);
+      (Xc_isa.Builder.Glibc_wide, 45);
+      (Xc_isa.Builder.Glibc_wide, 44);
+      (Xc_isa.Builder.Glibc_small, 3);
+    ]
+
+let registry () =
+  [
+    {
+      name = "nginx:1.13";
+      entry_program = Some (server_program ());
+      recipe = Some Xc_apps.Nginx.static_request_ab;
+    };
+    {
+      name = "memcached:1.5.7";
+      entry_program = Some (server_program ());
+      recipe = Some Xc_apps.Memcached.mixed_request;
+    };
+    {
+      name = "redis:3.2.11";
+      entry_program = Some (server_program ());
+      recipe = Some Xc_apps.Redis.request;
+    };
+    {
+      name = "mysql:5.7";
+      entry_program =
+        Some
+          (Xc_isa.Builder.build
+             [
+               (Xc_isa.Builder.Glibc_small, 232);
+               (Xc_isa.Builder.Cancellable, 0);
+               (Xc_isa.Builder.Cancellable, 1);
+               (Xc_isa.Builder.Glibc_wide, 3);
+             ]);
+      recipe = Some (Xc_apps.Mysql.mixed_query ~offline_patched:false);
+    };
+    {
+      name = "php:7-cgi";
+      entry_program = Some (server_program ());
+      recipe = Some (Xc_apps.Php_app.cgi_request ~queries:1);
+    };
+    {
+      name = "haproxy:1.7.5";
+      entry_program = Some (server_program ());
+      recipe = None;
+    };
+    { name = "ubuntu-bash"; entry_program = None; recipe = None };
+  ]
+
+let pull name =
+  let base s = match String.index_opt s ':' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let images = registry () in
+  match
+    List.find_opt (fun i -> i.name = name) images
+  with
+  | Some i -> Ok i
+  | None -> begin
+      match List.find_opt (fun i -> base i.name = base name) images with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "image %S not found in registry" name)
+    end
+
+let bootloader_process_count image =
+  match image.name with
+  | "mysql:5.7" -> 1
+  | "nginx:1.13" -> 2 (* master + worker *)
+  | _ -> 1

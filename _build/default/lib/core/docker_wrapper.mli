@@ -1,0 +1,24 @@
+(** The Docker Wrapper (Section 4.5).
+
+    To run unmodified Docker images, the wrapper resolves the image,
+    pairs it with an X-LibOS and a special bootloader that spawns the
+    container's processes directly — no init system, no unnecessary
+    services.  Here the "image" is a name plus the program the container
+    runs (an ISA binary and/or a request recipe). *)
+
+type image = {
+  name : string;
+  entry_program : Xc_isa.Builder.program option;
+      (** the container's binary (for ABOM-level runs) *)
+  recipe : Xc_apps.Recipe.t option;  (** its request behaviour *)
+}
+
+val registry : unit -> image list
+(** Built-in images mirroring the paper's: nginx:1.13, memcached:1.5.7,
+    redis:3.2.11, mysql, php, haproxy:1.7.5, ubuntu-bash. *)
+
+val pull : string -> (image, string) result
+(** Look an image up by name (exact or prefix before [':']). *)
+
+val bootloader_process_count : image -> int
+(** Processes the bootloader spawns for this image. *)

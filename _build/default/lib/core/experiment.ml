@@ -1,0 +1,63 @@
+type sample = { config_name : string; runs : float list }
+
+type row = {
+  config_name : string;
+  mean : float;
+  stddev : float;
+  relative : float;
+}
+
+let collect ~names ~name_of ~runs f =
+  List.map
+    (fun config ->
+      {
+        config_name = name_of config;
+        runs = List.init runs (fun i -> f config ~seed:(1000 + (i * 97)));
+      })
+    names
+
+let normalise ~baseline samples =
+  let stats_of (s : sample) = Xc_sim.Stats.of_list s.runs in
+  let base =
+    match List.find_opt (fun (s : sample) -> s.config_name = baseline) samples with
+    | Some s -> Xc_sim.Stats.mean (stats_of s)
+    | None -> invalid_arg ("Experiment.normalise: no baseline " ^ baseline)
+  in
+  if base = 0. then invalid_arg "Experiment.normalise: baseline mean is zero";
+  List.map
+    (fun s ->
+      let st = stats_of s in
+      {
+        config_name = s.config_name;
+        mean = Xc_sim.Stats.mean st;
+        stddev = Xc_sim.Stats.stddev st;
+        relative = Xc_sim.Stats.mean st /. base;
+      })
+    samples
+
+let to_table ?title ~value_header rows =
+  let open Xc_sim.Table in
+  let t =
+    create ?title
+      [
+        ("configuration", Left);
+        (value_header, Right);
+        ("stddev", Right);
+        ("relative", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.config_name;
+          fmt_si r.mean;
+          fmt_si r.stddev;
+          fmt_ratio r.relative;
+        ])
+    rows;
+  t
+
+let relative_of rows name =
+  List.find_opt (fun r -> r.config_name = name) rows
+  |> Option.map (fun r -> r.relative)

@@ -1,0 +1,31 @@
+(** Experiment harness: run configurations, normalise, tabulate.
+
+    The paper reports nearly everything {i relative to patched Docker}
+    with the mean and standard deviation of five runs.  This module
+    provides exactly that workflow: run a measurement function over a
+    configuration grid with several seeds, normalise against a chosen
+    baseline, and render the result as a table. *)
+
+type sample = { config_name : string; runs : float list }
+
+type row = {
+  config_name : string;
+  mean : float;
+  stddev : float;
+  relative : float;  (** mean / baseline mean *)
+}
+
+val collect :
+  names:'a list -> name_of:('a -> string) -> runs:int -> ('a -> seed:int -> float) ->
+  sample list
+(** Evaluate each configuration [runs] times with distinct seeds. *)
+
+val normalise : baseline:string -> sample list -> row list
+(** Normalise every row against the baseline's mean (baseline gets 1.0).
+    Raises [Invalid_argument] if the baseline is missing or zero. *)
+
+val to_table :
+  ?title:string -> value_header:string -> row list -> Xc_sim.Table.t
+
+val relative_of : row list -> string -> float option
+(** Look up one configuration's relative value. *)

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  image : string;
+  vcpus : int;
+  memory_mb : int;
+  processes : int;
+}
+
+let default_memory_mb = 128
+
+let make ?(vcpus = 1) ?(memory_mb = default_memory_mb) ?(processes = 1) ~name
+    ~image () =
+  { name; image; vcpus; memory_mb; processes }
+
+let validate t =
+  if t.name = "" then Error "container name must be non-empty"
+  else if t.vcpus <= 0 then Error "vcpus must be positive"
+  else if t.memory_mb < 64 then
+    Error "X-Containers need at least 64MB (Section 5.6)"
+  else if t.processes <= 0 then Error "processes must be positive"
+  else Ok t
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%s): %d vcpu, %dMB, %d process(es)" t.name t.image
+    t.vcpus t.memory_mb t.processes

@@ -1,0 +1,59 @@
+type layer_id = string
+
+type t = {
+  layers : (layer_id, string) Hashtbl.t;
+  images : (string, layer_id list) Hashtbl.t;
+}
+
+let create () = { layers = Hashtbl.create 16; images = Hashtbl.create 8 }
+
+(* Content addressing via a simple stable hash (not cryptographic; the
+   model only needs dedup). *)
+let digest content = Printf.sprintf "sha-%08x" (Hashtbl.hash content)
+
+let add_layer t ~content =
+  let id = digest content in
+  if not (Hashtbl.mem t.layers id) then Hashtbl.add t.layers id content;
+  id
+
+let layer_count t = Hashtbl.length t.layers
+
+let define_image t ~name ~layers =
+  if List.for_all (Hashtbl.mem t.layers) layers then begin
+    Hashtbl.replace t.images name layers;
+    Ok ()
+  end
+  else Error "image references a missing layer"
+
+let image_layers t ~name = Hashtbl.find_opt t.images name
+
+type snapshot = {
+  pool : t;
+  base : layer_id list;
+  delta : (int, string) Hashtbl.t;
+}
+
+let snapshot t ~image =
+  match image_layers t ~name:image with
+  | None -> Error ("no such image: " ^ image)
+  | Some base -> Ok { pool = t; base; delta = Hashtbl.create 8 }
+
+let write_block s ~block content = Hashtbl.replace s.delta block content
+
+let read_block s ~block =
+  match Hashtbl.find_opt s.delta block with
+  | Some v -> Some v
+  | None -> begin
+      match List.nth_opt s.base block with
+      | Some layer -> Hashtbl.find_opt s.pool.layers layer
+      | None -> None
+    end
+
+let dirty_blocks s = Hashtbl.length s.delta
+
+let shared_with t ~name_a ~name_b =
+  match (image_layers t ~name:name_a, image_layers t ~name:name_b) with
+  | Some a, Some b -> List.length (List.filter (fun l -> List.mem l b) a)
+  | _ -> 0
+
+let snapshot_setup_cost_ns () = 250_000. (* dm thin snapshot: metadata only *)

@@ -1,0 +1,1 @@
+lib/cpu/costs.ml: List

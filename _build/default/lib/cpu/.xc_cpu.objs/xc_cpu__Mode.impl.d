@@ -1,0 +1,1 @@
+lib/cpu/mode.ml: Int64

@@ -1,0 +1,1 @@
+lib/cpu/smp.ml: Array Core

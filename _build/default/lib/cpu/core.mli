@@ -1,0 +1,21 @@
+(** One physical CPU core: time and event accounting.
+
+    A core accumulates busy nanoseconds and labelled event counts; the
+    benchmark harness divides work done by busy time to obtain
+    throughputs, and reads the counters to explain them. *)
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+
+val charge : t -> ?label:string -> float -> unit
+(** Consume [ns] of core time; optionally count the event under [label]. *)
+
+val busy_ns : t -> float
+val count : t -> string -> float
+val metrics : t -> Xc_sim.Metrics.t
+val reset : t -> unit
+
+val utilization : t -> wall_ns:float -> float
+(** Busy fraction over a wall-clock window. *)

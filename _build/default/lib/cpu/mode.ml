@@ -1,0 +1,11 @@
+type t = Hypervisor | Guest_kernel | Guest_user
+
+let to_string = function
+  | Hypervisor -> "hypervisor"
+  | Guest_kernel -> "guest-kernel"
+  | Guest_user -> "guest-user"
+
+let equal (a : t) (b : t) = a = b
+
+let of_stack_pointer sp =
+  if Int64.compare sp 0L < 0 then Guest_kernel else Guest_user

@@ -1,0 +1,18 @@
+type t = { cores : Core.t array }
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Smp.create: need at least one core";
+  { cores = Array.init cores (fun id -> Core.create ~id) }
+
+let cores t = Array.length t.cores
+let core t i = t.cores.(i)
+
+let total_busy_ns t =
+  Array.fold_left (fun acc c -> acc +. Core.busy_ns c) 0. t.cores
+
+let reset t = Array.iter Core.reset t.cores
+
+let least_busy t =
+  Array.fold_left
+    (fun best c -> if Core.busy_ns c < Core.busy_ns best then c else best)
+    t.cores.(0) t.cores

@@ -1,0 +1,16 @@
+(** A symmetric multiprocessor: a fixed set of cores.
+
+    The paper's cloud instances expose 4 cores / 8 hardware threads; the
+    local cluster machines 16 cores / 32 threads.  Experiments hand out
+    cores to platforms (e.g. "dedicate one core to the NGINX worker"). *)
+
+type t
+
+val create : cores:int -> t
+val cores : t -> int
+val core : t -> int -> Core.t
+val total_busy_ns : t -> float
+val reset : t -> unit
+
+val least_busy : t -> Core.t
+(** The core with the least accumulated busy time (simple load balance). *)

@@ -1,0 +1,1 @@
+lib/hypervisor/balloon.ml: Domain List Printf Stdlib Xc_cpu

@@ -1,0 +1,1 @@
+lib/hypervisor/balloon.mli: Domain

@@ -1,0 +1,1 @@
+lib/hypervisor/console.ml: Bytes String

@@ -1,0 +1,1 @@
+lib/hypervisor/credit_scheduler.ml: Float List Stdlib Vcpu Xc_cpu

@@ -1,0 +1,1 @@
+lib/hypervisor/domain.ml: Array Vcpu

@@ -1,0 +1,1 @@
+lib/hypervisor/event_channel.ml: Hashtbl List Xc_cpu

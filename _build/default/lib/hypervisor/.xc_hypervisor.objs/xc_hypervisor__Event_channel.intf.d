@@ -1,0 +1,1 @@
+lib/hypervisor/event_channel.mli:

@@ -1,0 +1,1 @@
+lib/hypervisor/hypercall.ml: Hashtbl List Xc_cpu

@@ -1,0 +1,1 @@
+lib/hypervisor/hypercall.mli:

@@ -1,0 +1,1 @@
+lib/hypervisor/migration.ml: List Stdlib

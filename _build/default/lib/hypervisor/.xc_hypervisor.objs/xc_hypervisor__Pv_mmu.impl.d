@@ -1,0 +1,1 @@
+lib/hypervisor/pv_mmu.ml: Hypercall List Xc_mem

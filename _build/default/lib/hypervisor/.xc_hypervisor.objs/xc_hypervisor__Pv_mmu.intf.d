@@ -1,0 +1,1 @@
+lib/hypervisor/pv_mmu.mli: Hypercall Xc_mem

@@ -1,0 +1,1 @@
+lib/hypervisor/split_driver.ml: Event_channel Grant_table Hypercall List Stdlib Xc_cpu

@@ -1,0 +1,1 @@
+lib/hypervisor/split_driver.mli: Event_channel Grant_table Hypercall

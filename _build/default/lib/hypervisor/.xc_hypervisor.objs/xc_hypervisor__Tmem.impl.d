@@ -1,0 +1,1 @@
+lib/hypervisor/tmem.ml: Hashtbl List Xc_cpu

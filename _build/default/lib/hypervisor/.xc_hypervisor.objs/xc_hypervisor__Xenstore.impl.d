@@ -1,0 +1,1 @@
+lib/hypervisor/xenstore.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/hypervisor/xkernel.ml: Array Credit_scheduler Domain Event_channel Hypercall List Printf Xc_cpu

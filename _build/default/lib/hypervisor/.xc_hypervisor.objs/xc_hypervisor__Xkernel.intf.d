@@ -1,0 +1,1 @@
+lib/hypervisor/xkernel.mli: Credit_scheduler Domain Event_channel Hypercall

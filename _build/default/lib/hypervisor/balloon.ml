@@ -1,0 +1,66 @@
+let min_usable_mb = 64
+
+type t = {
+  domain : Domain.t;
+  mutable ballooned_mb : int;
+}
+
+let create ~domain = { domain; ballooned_mb = 0 }
+let domain_reservation_mb t = Domain.memory_mb t.domain
+let guest_usable_mb t = Domain.memory_mb t.domain - t.ballooned_mb
+let ballooned_mb t = t.ballooned_mb
+
+let set_target t ~usable_mb =
+  if usable_mb < min_usable_mb then
+    Error
+      (Printf.sprintf "target %dMB below the %dMB floor" usable_mb min_usable_mb)
+  else if usable_mb > domain_reservation_mb t then
+    Error
+      (Printf.sprintf "target %dMB above the %dMB reservation" usable_mb
+         (domain_reservation_mb t))
+  else begin
+    let before = guest_usable_mb t in
+    t.ballooned_mb <- domain_reservation_mb t - usable_mb;
+    Ok (before - usable_mb)
+  end
+
+(* Scrub + grant-return per 4KB page, batched. *)
+let inflate_cost_ns ~mb =
+  let pages = float_of_int (mb * 256) in
+  pages *. (180. +. Xc_cpu.Costs.pv_validation_per_entry_ns)
+
+type pool = {
+  host_mb : int;
+  mutable balloons : t list;
+  mutable freed_mb : int;
+}
+
+let pool ~host_mb = { host_mb; balloons = []; freed_mb = 0 }
+let attach p b = p.balloons <- b :: p.balloons
+
+let reclaim p ~need_mb =
+  let freed = ref 0 in
+  let by_usable =
+    List.sort (fun a b -> compare (guest_usable_mb b) (guest_usable_mb a)) p.balloons
+  in
+  List.iter
+    (fun b ->
+      if !freed < need_mb then begin
+        let usable = guest_usable_mb b in
+        let give = Stdlib.min (usable - min_usable_mb) (need_mb - !freed) in
+        if give > 0 then begin
+          match set_target b ~usable_mb:(usable - give) with
+          | Ok got -> freed := !freed + got
+          | Error _ -> ()
+        end
+      end)
+    by_usable;
+  p.freed_mb <- p.freed_mb + !freed;
+  !freed
+
+let pool_committed_mb p =
+  List.fold_left (fun acc b -> acc + domain_reservation_mb b) 0 p.balloons
+
+let pool_free_mb p =
+  let in_use = List.fold_left (fun acc b -> acc + guest_usable_mb b) 0 p.balloons in
+  p.host_mb - in_use

@@ -1,0 +1,48 @@
+type t = {
+  domid : int;
+  ring : Bytes.t;
+  mask : int;
+  mutable prod : int;  (** free-running producer index *)
+  mutable cons : int;
+  mutable dropped : int;
+}
+
+let create ?(ring_size = 2048) ~domid () =
+  if ring_size <= 0 || ring_size land (ring_size - 1) <> 0 then
+    invalid_arg "Console.create: ring size must be a power of two";
+  {
+    domid;
+    ring = Bytes.make ring_size '\x00';
+    mask = ring_size - 1;
+    prod = 0;
+    cons = 0;
+    dropped = 0;
+  }
+
+let domid t = t.domid
+let buffered t = t.prod - t.cons
+
+let write t s =
+  let capacity = Bytes.length t.ring in
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      if t.prod - t.cons < capacity then begin
+        Bytes.set t.ring (t.prod land t.mask) c;
+        t.prod <- t.prod + 1;
+        incr n
+      end
+      else t.dropped <- t.dropped + 1)
+    s;
+  !n
+
+let read_all t =
+  let len = buffered t in
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Bytes.get t.ring ((t.cons + i) land t.mask))
+  done;
+  t.cons <- t.cons + len;
+  Bytes.to_string out
+
+let dropped t = t.dropped

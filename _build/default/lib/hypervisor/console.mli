@@ -1,0 +1,25 @@
+(** The PV console: a shared-ring character channel to Domain-0.
+
+    Every guest gets one; boot messages and the paper's debugging story
+    flow through it.  The ring is a fixed power-of-two buffer with
+    producer/consumer indices, exactly like Xen's [xencons_interface]:
+    writes beyond the reader's progress are dropped (the guest does not
+    block on a slow console). *)
+
+type t
+
+val create : ?ring_size:int -> domid:int -> unit -> t
+(** [ring_size] must be a power of two (default 2048). *)
+
+val domid : t -> int
+
+val write : t -> string -> int
+(** Produce characters; returns how many fit (the rest are dropped). *)
+
+val read_all : t -> string
+(** Consume everything buffered (Domain-0's consol-daemon side). *)
+
+val dropped : t -> int
+(** Characters lost to a full ring so far. *)
+
+val buffered : t -> int

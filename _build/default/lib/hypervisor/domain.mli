@@ -1,0 +1,23 @@
+(** Xen domains.
+
+    Domain-0 runs the toolstack and (conceptually) isolates drivers into
+    driver domains; Domain-Us host guests — under the X-Kernel, each
+    Domain-U {i is} an X-Container. *)
+
+type kind = Dom0 | Domu | Driver_domain
+
+type state = Created | Running | Paused | Shutdown
+
+type t
+
+val create :
+  id:int -> kind:kind -> vcpus:int -> memory_mb:int -> t
+
+val id : t -> int
+val kind : t -> kind
+val vcpus : t -> Vcpu.t array
+val memory_mb : t -> int
+val state : t -> state
+val set_state : t -> state -> unit
+val is_privileged : t -> bool
+(** Only Domain-0 may issue domctl hypercalls. *)

@@ -1,0 +1,43 @@
+type delivery = Via_hypervisor | Direct_user_mode
+
+type t = {
+  delivery : delivery;
+  bound : (int, unit) Hashtbl.t;
+  mutable pending : int list; (* descending insertion; read sorted *)
+  mutable delivered : int;
+}
+
+let create delivery =
+  { delivery; bound = Hashtbl.create 8; pending = []; delivered = 0 }
+
+let delivery t = t.delivery
+let bind t ~port = Hashtbl.replace t.bound port ()
+let is_bound t ~port = Hashtbl.mem t.bound port
+
+let notify t ~port =
+  if not (is_bound t ~port) then invalid_arg "Event_channel.notify: unbound port";
+  if not (List.mem port t.pending) then t.pending <- port :: t.pending;
+  (* Sender marks the shared pending bitmap; cost is a cache-line write
+     plus, for hypervisor delivery, the notifying hypercall. *)
+  match t.delivery with
+  | Via_hypervisor -> Xc_cpu.Costs.hypercall_ns
+  | Direct_user_mode -> Xc_cpu.Costs.cache_line_refill_ns
+
+let pending t = List.sort compare t.pending
+
+let deliver_pending t handler =
+  let ports = pending t in
+  t.pending <- [];
+  let per_event =
+    match t.delivery with
+    | Via_hypervisor -> Xc_cpu.Costs.xen_event_channel_ns +. Xc_cpu.Costs.iret_hypercall_ns
+    | Direct_user_mode -> Xc_cpu.Costs.xc_event_direct_ns +. Xc_cpu.Costs.xc_iret_ns
+  in
+  List.iter
+    (fun port ->
+      t.delivered <- t.delivered + 1;
+      handler port)
+    ports;
+  per_event *. float_of_int (List.length ports)
+
+let delivered_count t = t.delivered

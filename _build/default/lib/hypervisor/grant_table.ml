@@ -1,0 +1,73 @@
+type permission = Read_only | Read_write
+type grant_ref = int
+
+type entry = {
+  to_domain : int;
+  frame : int;
+  permission : permission;
+  mutable map_count : int;
+  mutable revoked : bool;
+}
+
+type t = {
+  owner : int;
+  capacity : int;
+  entries : (grant_ref, entry) Hashtbl.t;
+  mutable next_ref : grant_ref;
+}
+
+let create ~owner ~capacity =
+  if capacity <= 0 then invalid_arg "Grant_table.create: capacity";
+  { owner; capacity; entries = Hashtbl.create 32; next_ref = 0 }
+
+let owner t = t.owner
+let capacity t = t.capacity
+
+let active_grants t =
+  Hashtbl.fold (fun _ e acc -> if e.revoked then acc else acc + 1) t.entries 0
+
+let grant t ~to_domain ~frame permission =
+  if active_grants t >= t.capacity then Error "grant table full"
+  else begin
+    let r = t.next_ref in
+    t.next_ref <- r + 1;
+    Hashtbl.add t.entries r
+      { to_domain; frame; permission; map_count = 0; revoked = false };
+    Ok r
+  end
+
+let lookup t r = Hashtbl.find_opt t.entries r
+
+let map t r ~by_domain =
+  match lookup t r with
+  | None -> Error "unknown grant reference"
+  | Some e ->
+      if e.revoked then Error "grant revoked"
+      else if e.to_domain <> by_domain then Error "grant is for another domain"
+      else begin
+        e.map_count <- e.map_count + 1;
+        Ok (e.frame, e.permission)
+      end
+
+let unmap t r ~by_domain =
+  match lookup t r with
+  | None -> Error "unknown grant reference"
+  | Some e ->
+      if e.to_domain <> by_domain then Error "grant is for another domain"
+      else if e.map_count = 0 then Error "not mapped"
+      else begin
+        e.map_count <- e.map_count - 1;
+        Ok ()
+      end
+
+let revoke t r =
+  match lookup t r with
+  | None -> Error "unknown grant reference"
+  | Some e ->
+      if e.map_count > 0 then Error "mappings outstanding"
+      else begin
+        e.revoked <- true;
+        Ok ()
+      end
+
+let mappings t r = match lookup t r with Some e -> e.map_count | None -> 0

@@ -1,0 +1,36 @@
+(** Grant tables: the shared-memory capability system behind the split
+    drivers.
+
+    A guest grants a specific foreign domain access to one of its frames;
+    the grantee maps it, and the granter can only revoke once the map
+    count drops to zero.  This is the exokernel-style, explicitly
+    delegated sharing that lets Domain-0/driver domains move packet
+    buffers without owning all of memory. *)
+
+type permission = Read_only | Read_write
+
+type grant_ref = int
+
+type t
+(** One domain's grant table. *)
+
+val create : owner:int -> capacity:int -> t
+val owner : t -> int
+val capacity : t -> int
+val active_grants : t -> int
+
+val grant : t -> to_domain:int -> frame:int -> permission -> (grant_ref, string) result
+(** Fails when the table is full. *)
+
+val map : t -> grant_ref -> by_domain:int -> (int * permission, string) result
+(** The grantee maps the frame; fails for the wrong domain, an unknown
+    reference, or a revoked grant.  Returns the frame and permission. *)
+
+val unmap : t -> grant_ref -> by_domain:int -> (unit, string) result
+
+val revoke : t -> grant_ref -> (unit, string) result
+(** Fails while mappings are outstanding (the paper's Xen inherits this
+    safety rule: no use-after-revoke). *)
+
+val mappings : t -> grant_ref -> int
+(** Outstanding map count (0 for unknown refs). *)

@@ -1,0 +1,60 @@
+type error = Maps_hypervisor_frame | Writable_page_table | Not_owned_frame
+
+type t = {
+  hypercalls : Hypercall.t;
+  hypervisor_frames : int -> bool;
+  owned : domain_id:int -> pfn:int -> bool;
+  page_table_frame : int -> bool;
+  mutable validated : int;
+  mutable rejected : int;
+}
+
+let create ~hypercalls ~hypervisor_frames ~owned ~page_table_frame =
+  {
+    hypercalls;
+    hypervisor_frames;
+    owned;
+    page_table_frame;
+    validated = 0;
+    rejected = 0;
+  }
+
+let per_entry_ns = 45.
+
+let batch_cost_ns n =
+  Hypercall.cost_ns Mmu_update +. (per_entry_ns *. float_of_int n)
+
+let validate t ~domain_id (vpn, pte) =
+  let pfn = pte.Xc_mem.Pte.pfn in
+  if t.hypervisor_frames pfn then Error (Maps_hypervisor_frame, vpn)
+  else if not (t.owned ~domain_id ~pfn) then Error (Not_owned_frame, vpn)
+  else if t.page_table_frame pfn && pte.Xc_mem.Pte.writable then
+    Error (Writable_page_table, vpn)
+  else Ok ()
+
+let update t ~domain_id ~table ~entries =
+  let rec check = function
+    | [] -> Ok ()
+    | entry :: rest -> begin
+        match validate t ~domain_id entry with
+        | Ok () -> check rest
+        | Error _ as e -> e
+      end
+  in
+  match check entries with
+  | Error (err, vpn) ->
+      t.rejected <- t.rejected + 1;
+      Error (err, vpn)
+  | Ok () ->
+      ignore (Hypercall.invoke t.hypercalls Mmu_update);
+      List.iter (fun (vpn, pte) -> Xc_mem.Page_table.map table ~vpn pte) entries;
+      t.validated <- t.validated + List.length entries;
+      Ok (batch_cost_ns (List.length entries))
+
+let validated_entries t = t.validated
+let rejected_batches t = t.rejected
+
+let error_to_string = function
+  | Maps_hypervisor_frame -> "maps-hypervisor-frame"
+  | Writable_page_table -> "writable-page-table"
+  | Not_owned_frame -> "not-owned-frame"

@@ -1,0 +1,40 @@
+(** The paravirtualized MMU interface.
+
+    Guests never write page tables directly: updates are submitted in
+    batches and validated by the hypervisor (Section 4.1).  Validation is
+    the security core of the exokernel: a guest must not map hypervisor
+    frames, and must not gain writable access to its own page tables.
+    This module models both the validation rules and the batch cost, which
+    is why process creation and context switching keep a "noticeable
+    overhead" on X-Containers (Section 5.4). *)
+
+type error =
+  | Maps_hypervisor_frame
+  | Writable_page_table
+  | Not_owned_frame
+
+type t
+
+val create :
+  hypercalls:Hypercall.t ->
+  hypervisor_frames:(int -> bool) ->
+  owned:(domain_id:int -> pfn:int -> bool) ->
+  page_table_frame:(int -> bool) ->
+  t
+
+val update :
+  t ->
+  domain_id:int ->
+  table:Xc_mem.Page_table.t ->
+  entries:(int * Xc_mem.Pte.t) list ->
+  (float, error * int) result
+(** Validate and apply a batch; on success, returns the cost (one
+    hypercall + per-entry validation).  On failure, nothing is applied
+    and the offending vpn is reported. *)
+
+val batch_cost_ns : int -> float
+(** Cost of a clean batch of [n] entries. *)
+
+val validated_entries : t -> int
+val rejected_batches : t -> int
+val error_to_string : error -> string

@@ -1,0 +1,90 @@
+type t = {
+  hypercalls : Hypercall.t;
+  events : Event_channel.t;
+  grants : Grant_table.t;
+  ring_slots : int;
+  mutable in_flight : (Grant_table.grant_ref list) list;
+      (** grant refs of each outstanding request, oldest last *)
+}
+
+let port = 1
+let backend_domain = 0 (* the driver domain maps our buffers *)
+
+let create ~hypercalls ~events ~ring_slots =
+  if ring_slots <= 0 then invalid_arg "Split_driver.create: ring_slots";
+  Event_channel.bind events ~port;
+  {
+    hypercalls;
+    events;
+    grants = Grant_table.create ~owner:1 ~capacity:(ring_slots * 32);
+    ring_slots;
+    in_flight = [];
+  }
+
+let in_flight t = List.length t.in_flight
+let ring_slots t = t.ring_slots
+
+let submit t ~bytes_len =
+  if in_flight t >= t.ring_slots then Error "ring full"
+  else begin
+    let pages = Stdlib.max 1 ((bytes_len + 4095) / 4096) in
+    (* Grant each data page to the backend and let it map them: the real
+       netfront/netback handshake, with the capability checks live. *)
+    let rec grant_pages n acc =
+      if n = 0 then Ok (List.rev acc)
+      else begin
+        match
+          Grant_table.grant t.grants ~to_domain:backend_domain ~frame:(1000 + n)
+            Grant_table.Read_only
+        with
+        | Ok r -> begin
+            match Grant_table.map t.grants r ~by_domain:backend_domain with
+            | Ok _ -> grant_pages (n - 1) (r :: acc)
+            | Error e -> Error e
+          end
+        | Error e -> Error e
+      end
+    in
+    match grant_pages pages [] with
+    | Error e -> Error e
+    | Ok refs ->
+        t.in_flight <- refs :: t.in_flight;
+        let grant_cost =
+          float_of_int pages *. Hypercall.cost_ns Grant_table_op
+        in
+        let notify_cost = Event_channel.notify t.events ~port in
+        ignore (Hypercall.invoke t.hypercalls Grant_table_op);
+        Ok (grant_cost +. notify_cost +. Xc_cpu.Costs.cache_line_refill_ns)
+  end
+
+let complete t ~count =
+  let count = Stdlib.min count (in_flight t) in
+  (* [in_flight] holds newest first; complete the oldest [count]. *)
+  let keep = in_flight t - count in
+  let rec take n = function
+    | [] -> ([], [])
+    | x :: rest ->
+        if n = 0 then ([], x :: rest)
+        else begin
+          let kept, done_ = take (n - 1) rest in
+          (x :: kept, done_)
+        end
+  in
+  let remaining, completed = take keep t.in_flight in
+  t.in_flight <- remaining;
+  let completed = ref completed in
+  (* The backend unmaps; the frontend revokes and reclaims the refs. *)
+  List.iter
+    (fun refs ->
+      List.iter
+        (fun r ->
+          (match Grant_table.unmap t.grants r ~by_domain:backend_domain with
+          | Ok () -> ()
+          | Error _ -> ());
+          match Grant_table.revoke t.grants r with Ok () -> () | Error _ -> ())
+        refs)
+    !completed;
+  let cost = Event_channel.deliver_pending t.events (fun _ -> ()) in
+  cost +. (float_of_int count *. Xc_cpu.Costs.cache_line_refill_ns)
+
+let grants t = t.grants

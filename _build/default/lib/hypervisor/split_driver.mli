@@ -1,0 +1,29 @@
+(** The Xen split-driver I/O model.
+
+    Device I/O goes through a front-end driver in the guest connected to a
+    back-end in the driver domain over shared-memory descriptor rings,
+    with event channels for notification (Section 4.1).  Both
+    Xen-Containers and X-Containers use this path (with Xen-Blanket
+    drivers in public clouds); the cost per operation is identical — the
+    platforms differ on the {i syscall} path, not the driver path. *)
+
+type t
+
+val create :
+  hypercalls:Hypercall.t -> events:Event_channel.t -> ring_slots:int -> t
+
+val submit : t -> bytes_len:int -> (float, string) result
+(** Submit one I/O request: grant the data pages, place a descriptor,
+    notify.  Returns the front-end cost; [Error] when the ring is full. *)
+
+val complete : t -> count:int -> float
+(** Back-end completes [count] requests (oldest first); unmaps and
+    revokes their grants, frees ring slots, and returns the back-end
+    cost. *)
+
+val in_flight : t -> int
+val ring_slots : t -> int
+
+val grants : t -> Grant_table.t
+(** The front-end's grant table (every in-flight page is granted to the
+    driver domain through it — inspectable in tests). *)

@@ -1,0 +1,65 @@
+type entry = { domain_id : int; key : int }
+
+type t = {
+  capacity : int;
+  (* LRU as a queue of entries + membership table. *)
+  mutable order : entry list; (* most recent first *)
+  table : (entry, unit) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Tmem.create: capacity";
+  {
+    capacity = capacity_pages;
+    order = [];
+    table = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity_pages t = t.capacity
+let stored_pages t = Hashtbl.length t.table
+
+let evict_oldest t =
+  match List.rev t.order with
+  | [] -> ()
+  | oldest :: _ ->
+      Hashtbl.remove t.table oldest;
+      t.order <- List.filter (fun e -> e <> oldest) t.order
+
+let put t ~domain_id ~key =
+  let e = { domain_id; key } in
+  if Hashtbl.mem t.table e then
+    t.order <- e :: List.filter (fun x -> x <> e) t.order
+  else begin
+    if stored_pages t >= t.capacity then evict_oldest t;
+    Hashtbl.add t.table e ();
+    t.order <- e :: t.order
+  end
+
+let get t ~domain_id ~key =
+  let e = { domain_id; key } in
+  if Hashtbl.mem t.table e then begin
+    Hashtbl.remove t.table e;
+    t.order <- List.filter (fun x -> x <> e) t.order;
+    t.hits <- t.hits + 1;
+    `Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    `Miss
+  end
+
+let flush_domain t ~domain_id =
+  let mine, rest = List.partition (fun e -> e.domain_id = domain_id) t.order in
+  List.iter (Hashtbl.remove t.table) mine;
+  t.order <- rest;
+  List.length mine
+
+let hits t = t.hits
+let misses t = t.misses
+
+(* An SSD page read is ~80us; a tmem get is a hypercall + copy. *)
+let hit_saving_ns = 80_000. -. (Xc_cpu.Costs.hypercall_ns +. 1_000.)

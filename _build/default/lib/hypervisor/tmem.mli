@@ -1,0 +1,31 @@
+(** Transcendent memory (Section 4.5).
+
+    Xen's tmem lets guests put clean page-cache pages into a
+    hypervisor-managed pool and get them back later — RAM that no guest
+    owns but all can share.  Ephemeral pools may drop pages under
+    pressure (a subsequent [get] misses and the guest re-reads from
+    disk); the model tracks hit rates so experiments can quantify how
+    much page cache X-Containers can share. *)
+
+type t
+
+val create : capacity_pages:int -> t
+val capacity_pages : t -> int
+val stored_pages : t -> int
+
+val put : t -> domain_id:int -> key:int -> unit
+(** Store a clean page.  When full, evicts the least-recently-put page
+    (possibly from another domain: the pool is shared). *)
+
+val get : t -> domain_id:int -> key:int -> [ `Hit | `Miss ]
+(** Lookup; a hit removes the page (exclusive get, as in Xen's
+    ephemeral pools). *)
+
+val flush_domain : t -> domain_id:int -> int
+(** Drop every page of a domain (domain shutdown); returns the count. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val hit_saving_ns : float
+(** Time saved per hit versus re-reading the page from storage. *)

@@ -1,0 +1,22 @@
+type state = Runnable | Running | Blocked
+
+type t = {
+  id : int;
+  domain_id : int;
+  mutable state : state;
+  mutable credit : int;
+  mutable runtime_ns : float;
+}
+
+let create ~id ~domain_id =
+  { id; domain_id; state = Runnable; credit = 0; runtime_ns = 0. }
+
+let id t = t.id
+let domain_id t = t.domain_id
+let state t = t.state
+let set_state t s = t.state <- s
+let credit t = t.credit
+let set_credit t c = t.credit <- c
+let consume_credit t c = t.credit <- t.credit - c
+let runtime_ns t = t.runtime_ns
+let add_runtime t ns = t.runtime_ns <- t.runtime_ns +. ns

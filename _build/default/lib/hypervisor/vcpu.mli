@@ -1,0 +1,23 @@
+(** Virtual CPUs.
+
+    Xen schedules vCPUs onto physical cores; the guest kernel schedules
+    processes onto vCPUs.  This two-level split is what makes Figure 8
+    interesting: with N containers of 4 processes each, the X-Kernel
+    schedules N vCPUs while a Docker host schedules 4N processes. *)
+
+type state = Runnable | Running | Blocked
+
+type t
+
+val create : id:int -> domain_id:int -> t
+val id : t -> int
+val domain_id : t -> int
+val state : t -> state
+val set_state : t -> state -> unit
+
+val credit : t -> int
+val set_credit : t -> int -> unit
+val consume_credit : t -> int -> unit
+
+val runtime_ns : t -> float
+val add_runtime : t -> float -> unit

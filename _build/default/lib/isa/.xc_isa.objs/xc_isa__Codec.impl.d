@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Bytes Format Insn Int64 List String

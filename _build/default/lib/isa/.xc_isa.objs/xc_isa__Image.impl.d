@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Bytes Codec Int64 List Stdlib

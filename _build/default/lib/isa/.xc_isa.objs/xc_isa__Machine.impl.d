@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Bytes Image Insn Int64 List Printf

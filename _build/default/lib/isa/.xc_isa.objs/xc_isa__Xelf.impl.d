@@ -1,0 +1,1 @@
+lib/isa/xelf.ml: Buffer Bytes Image Int64 List Stdlib String

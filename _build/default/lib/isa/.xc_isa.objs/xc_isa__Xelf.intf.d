@@ -1,0 +1,1 @@
+lib/isa/xelf.mli: Image

@@ -1,0 +1,164 @@
+let put_u8 buf off v = Bytes.set_uint8 buf off (v land 0xff)
+
+let put_u32 buf off v =
+  put_u8 buf off v;
+  put_u8 buf (off + 1) (v lsr 8);
+  put_u8 buf (off + 2) (v lsr 16);
+  put_u8 buf (off + 3) (v lsr 24)
+
+let get_u8 = Bytes.get_uint8
+
+let get_u32 buf off =
+  get_u8 buf off
+  lor (get_u8 buf (off + 1) lsl 8)
+  lor (get_u8 buf (off + 2) lsl 16)
+  lor (get_u8 buf (off + 3) lsl 24)
+
+(* Sign-extend a 32-bit value held in an int. *)
+let sext32 v = if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+let sext8 v = if v land 0x80 <> 0 then v - 0x100 else v
+
+let encode_into buf off (i : Insn.t) =
+  (match i with
+  | Mov_eax_imm32 n ->
+      put_u8 buf off 0xb8;
+      put_u32 buf (off + 1) n
+  | Mov_rax_imm32 n ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0xc7;
+      put_u8 buf (off + 2) 0xc0;
+      put_u32 buf (off + 3) n
+  | Mov_rax_rsp8 d ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0x8b;
+      put_u8 buf (off + 2) 0x44;
+      put_u8 buf (off + 3) 0x24;
+      put_u8 buf (off + 4) d
+  | Mov_rsp8_rax d ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0x89;
+      put_u8 buf (off + 2) 0x44;
+      put_u8 buf (off + 3) 0x24;
+      put_u8 buf (off + 4) d
+  | Push_rax -> put_u8 buf off 0x50
+  | Pop_rax -> put_u8 buf off 0x58
+  | Push_rbp -> put_u8 buf off 0x55
+  | Pop_rbp -> put_u8 buf off 0x5d
+  | Mov_rbp_rsp ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0x89;
+      put_u8 buf (off + 2) 0xe5
+  | Sub_rsp_imm8 n ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0x83;
+      put_u8 buf (off + 2) 0xec;
+      put_u8 buf (off + 3) n
+  | Add_rsp_imm8 n ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0x83;
+      put_u8 buf (off + 2) 0xc4;
+      put_u8 buf (off + 3) n
+  | Syscall ->
+      put_u8 buf off 0x0f;
+      put_u8 buf (off + 1) 0x05
+  | Call_abs a ->
+      put_u8 buf off 0xff;
+      put_u8 buf (off + 1) 0x14;
+      put_u8 buf (off + 2) 0x25;
+      put_u32 buf (off + 3) (Int64.to_int (Int64.logand a 0xffffffffL))
+  | Call_rel32 d ->
+      put_u8 buf off 0xe8;
+      put_u32 buf (off + 1) (d land 0xffffffff)
+  | Jmp_rel8 d ->
+      put_u8 buf off 0xeb;
+      put_u8 buf (off + 1) d
+  | Jmp_rel32 d ->
+      put_u8 buf off 0xe9;
+      put_u32 buf (off + 1) (d land 0xffffffff)
+  | Mov_rcx_imm32 n ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0xc7;
+      put_u8 buf (off + 2) 0xc1;
+      put_u32 buf (off + 3) n
+  | Dec_rcx ->
+      put_u8 buf off 0x48;
+      put_u8 buf (off + 1) 0xff;
+      put_u8 buf (off + 2) 0xc9
+  | Jnz_rel8 d ->
+      put_u8 buf off 0x75;
+      put_u8 buf (off + 1) d
+  | Ret -> put_u8 buf off 0xc3
+  | Nop -> put_u8 buf off 0x90
+  | Nop2 ->
+      put_u8 buf off 0x66;
+      put_u8 buf (off + 1) 0x90
+  | Hlt -> put_u8 buf off 0xf4
+  | Invalid b -> put_u8 buf off b);
+  Insn.length i
+
+let encode i =
+  let buf = Bytes.make (Insn.length i) '\x00' in
+  ignore (encode_into buf 0 i);
+  buf
+
+let decode buf off : Insn.t * int =
+  let len = Bytes.length buf in
+  let have n = off + n <= len in
+  let b0 = get_u8 buf off in
+  let invalid () = (Insn.Invalid b0, 1) in
+  match b0 with
+  | 0xb8 when have 5 -> (Mov_eax_imm32 (get_u32 buf (off + 1)), 5)
+  | 0x48 when have 2 -> begin
+      match get_u8 buf (off + 1) with
+      | 0xc7 when have 7 && get_u8 buf (off + 2) = 0xc0 ->
+          (Mov_rax_imm32 (get_u32 buf (off + 3)), 7)
+      | 0xc7 when have 7 && get_u8 buf (off + 2) = 0xc1 ->
+          (Mov_rcx_imm32 (get_u32 buf (off + 3)), 7)
+      | 0xff when have 3 && get_u8 buf (off + 2) = 0xc9 -> (Dec_rcx, 3)
+      | 0x8b when have 5 && get_u8 buf (off + 2) = 0x44 && get_u8 buf (off + 3) = 0x24
+        ->
+          (Mov_rax_rsp8 (get_u8 buf (off + 4)), 5)
+      | 0x89 when have 5 && get_u8 buf (off + 2) = 0x44 && get_u8 buf (off + 3) = 0x24
+        ->
+          (Mov_rsp8_rax (get_u8 buf (off + 4)), 5)
+      | 0x89 when have 3 && get_u8 buf (off + 2) = 0xe5 -> (Mov_rbp_rsp, 3)
+      | 0x83 when have 4 && get_u8 buf (off + 2) = 0xec ->
+          (Sub_rsp_imm8 (get_u8 buf (off + 3)), 4)
+      | 0x83 when have 4 && get_u8 buf (off + 2) = 0xc4 ->
+          (Add_rsp_imm8 (get_u8 buf (off + 3)), 4)
+      | _ -> invalid ()
+    end
+  | 0x50 -> (Push_rax, 1)
+  | 0x58 -> (Pop_rax, 1)
+  | 0x55 -> (Push_rbp, 1)
+  | 0x5d -> (Pop_rbp, 1)
+  | 0x0f when have 2 && get_u8 buf (off + 1) = 0x05 -> (Syscall, 2)
+  | 0xff when have 7 && get_u8 buf (off + 1) = 0x14 && get_u8 buf (off + 2) = 0x25 ->
+      let disp = sext32 (get_u32 buf (off + 3)) in
+      (Call_abs (Int64.of_int disp), 7)
+  | 0xe8 when have 5 -> (Call_rel32 (sext32 (get_u32 buf (off + 1))), 5)
+  | 0xeb when have 2 -> (Jmp_rel8 (sext8 (get_u8 buf (off + 1))), 2)
+  | 0x75 when have 2 -> (Jnz_rel8 (sext8 (get_u8 buf (off + 1))), 2)
+  | 0xe9 when have 5 -> (Jmp_rel32 (sext32 (get_u32 buf (off + 1))), 5)
+  | 0xc3 -> (Ret, 1)
+  | 0x90 -> (Nop, 1)
+  | 0x66 when have 2 && get_u8 buf (off + 1) = 0x90 -> (Nop2, 2)
+  | 0xf4 -> (Hlt, 1)
+  | _ -> invalid ()
+
+let decode_all buf =
+  let rec go off acc =
+    if off >= Bytes.length buf then List.rev acc
+    else begin
+      let insn, len = decode buf off in
+      go (off + len) ((off, insn) :: acc)
+    end
+  in
+  go 0 []
+
+let disassemble ?(base = 0L) buf =
+  decode_all buf
+  |> List.map (fun (off, insn) ->
+         Format.asprintf "%8Lx:\t%a" (Int64.add base (Int64.of_int off)) Insn.pp
+           insn)
+  |> String.concat "\n"

@@ -1,0 +1,22 @@
+(** Byte encoder/decoder for the modelled x86-64 subset.
+
+    Round-trip property (checked by tests): [decode (encode i) = i] for
+    every instruction except [Invalid], and the decoder never reads past
+    [length i] bytes. *)
+
+val encode_into : Bytes.t -> int -> Insn.t -> int
+(** [encode_into buf off i] writes the encoding of [i] at [off]; returns the
+    number of bytes written. *)
+
+val encode : Insn.t -> Bytes.t
+(** Fresh buffer holding just this instruction. *)
+
+val decode : Bytes.t -> int -> Insn.t * int
+(** [decode buf off] decodes one instruction at [off]; returns it and its
+    length.  Undecodable or truncated bytes yield [(Invalid b, 1)]. *)
+
+val decode_all : Bytes.t -> (int * Insn.t) list
+(** Linear sweep from offset 0: [(offset, insn)] pairs. *)
+
+val disassemble : ?base:int64 -> Bytes.t -> string
+(** Human-readable listing, one instruction per line, objdump-style. *)

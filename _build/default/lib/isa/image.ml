@@ -1,0 +1,80 @@
+type symbol = { name : string; offset : int; size : int }
+
+let page_size = 4096
+
+type t = {
+  code : Bytes.t;
+  base : int64;
+  mutable symbols : symbol list;
+  writable : bool array;
+  dirty : bool array;
+}
+
+let create ?(base = 0x400000L) ~size () =
+  let pages = (size + page_size - 1) / page_size in
+  {
+    code = Bytes.make size '\x00';
+    base;
+    symbols = [];
+    writable = Array.make (Stdlib.max pages 1) false;
+    dirty = Array.make (Stdlib.max pages 1) false;
+  }
+
+let size t = Bytes.length t.code
+let base t = t.base
+let code t = t.code
+let addr_of_offset t off = Int64.add t.base (Int64.of_int off)
+let offset_of_addr t addr = Int64.to_int (Int64.sub addr t.base)
+let page_count t = Array.length t.writable
+let set_page_writable t ~page v = t.writable.(page) <- v
+let page_writable t ~page = t.writable.(page)
+let page_dirty t ~page = t.dirty.(page)
+
+let dirty_pages t =
+  let acc = ref [] in
+  for i = Array.length t.dirty - 1 downto 0 do
+    if t.dirty.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let write t ~off buf ~wp_override =
+  let len = Bytes.length buf in
+  if off < 0 || off + len > size t then Error "write out of bounds"
+  else begin
+    let first_page = off / page_size and last_page = (off + len - 1) / page_size in
+    let blocked = ref false in
+    for p = first_page to last_page do
+      if (not t.writable.(p)) && not wp_override then blocked := true
+    done;
+    if !blocked then Error "write to read-only page"
+    else begin
+      for p = first_page to last_page do
+        if not t.writable.(p) then t.dirty.(p) <- true
+      done;
+      Bytes.blit buf 0 t.code off len;
+      Ok ()
+    end
+  end
+
+let emit t ~off insn = Codec.encode_into t.code off insn
+
+let emit_list t ~off insns =
+  List.fold_left (fun off insn -> off + emit t ~off insn) off insns
+
+let insn_at t off = Codec.decode t.code off
+let add_symbol t ~name ~offset ~size = t.symbols <- { name; offset; size } :: t.symbols
+let find_symbol t name = List.find_opt (fun s -> s.name = name) t.symbols
+let symbols t = List.rev t.symbols
+
+let copy t =
+  {
+    code = Bytes.copy t.code;
+    base = t.base;
+    symbols = t.symbols;
+    writable = Array.copy t.writable;
+    dirty = Array.copy t.dirty;
+  }
+
+let disassemble_range t ~off ~len =
+  let sub = Bytes.sub t.code off len in
+  Codec.disassemble ~base:(addr_of_offset t off) sub

@@ -1,0 +1,280 @@
+type entry = Fixed of int | Dynamic
+type event = { kind : [ `Trap | `Fast ]; sysno : int; site : int }
+type exit_reason = Halted | Fuel_exhausted | Fault of string
+
+type t = {
+  image : Image.t;
+  mutable rip : int;
+  mutable rax : int64;
+  mutable rcx : int64;
+  mutable zf : bool;
+  mutable rbp : int64;
+  stack : Bytes.t;
+  mutable rsp : int;
+  stack_top : int;
+  mutable events : event list; (* reversed *)
+  mutable steps : int;
+  config : config;
+}
+
+and config = {
+  vsyscall_lookup : int64 -> entry option;
+  on_syscall_trap : (t -> sysno:int -> syscall_off:int -> unit) option;
+  libos_skip_check : bool;
+  invalid_opcode_fixup : bool;
+}
+
+let default_config =
+  {
+    vsyscall_lookup = (fun _ -> None);
+    on_syscall_trap = None;
+    libos_skip_check = false;
+    invalid_opcode_fixup = false;
+  }
+
+let xcontainer_config ?on_syscall_trap ~lookup () =
+  {
+    vsyscall_lookup = lookup;
+    on_syscall_trap;
+    libos_skip_check = true;
+    invalid_opcode_fixup = true;
+  }
+
+let stack_size = 65536
+
+let create ?(config = default_config) image ~entry =
+  let stack_top = stack_size - 64 in
+  {
+    image;
+    rip = entry;
+    rax = 0L;
+    rcx = 0L;
+    zf = false;
+    rbp = 0L;
+    stack = Bytes.make stack_size '\x00';
+    rsp = stack_top;
+    stack_top;
+    events = [];
+    steps = 0;
+    config;
+  }
+
+let image t = t.image
+let rip t = t.rip
+let rax t = t.rax
+let set_rax t v = t.rax <- v
+
+let reset t ~entry =
+  t.rip <- entry;
+  t.rax <- 0L;
+  t.rcx <- 0L;
+  t.zf <- false;
+  t.rbp <- 0L;
+  t.rsp <- t.stack_top
+
+let events t = List.rev t.events
+let clear_events t = t.events <- []
+let syscall_numbers t = List.rev_map (fun e -> e.sysno) t.events
+let steps t = t.steps
+
+exception Fault_exn of string
+
+let load64 t off =
+  if off < 0 || off + 8 > stack_size then raise (Fault_exn "stack load out of bounds");
+  Bytes.get_int64_le t.stack off
+
+let store64 t off v =
+  if off < 0 || off + 8 > stack_size then
+    raise (Fault_exn "stack store out of bounds");
+  Bytes.set_int64_le t.stack off v
+
+let push t v =
+  t.rsp <- t.rsp - 8;
+  store64 t t.rsp v
+
+let pop t =
+  let v = load64 t t.rsp in
+  t.rsp <- t.rsp + 8;
+  v
+
+let record t kind sysno site = t.events <- { kind; sysno; site } :: t.events
+
+(* Signals: rt_sigreturn pops the frame deliver_signal pushed. *)
+let sigreturn_sysno = 15
+
+let deliver_signal t ~handler ~restorer =
+  (* Kernel-built frame: the interrupted rip deepest, then the restorer
+     address, so the handler's ret falls into __restore_rt. *)
+  push t (Int64.of_int t.rip);
+  push t (Int64.of_int restorer);
+  t.rip <- handler
+
+(* rt_sigreturn: resume the interrupted context from the frame. *)
+let do_sigreturn t = t.rip <- Int64.to_int (pop t)
+
+(* After a phase-1 9-byte patch the original [syscall] still follows the
+   new call; after phase 2 a [jmp -9] follows it.  The X-LibOS syscall
+   handler recognises both on the return address and skips them. *)
+let skip_trailing t ret_off =
+  match Image.insn_at t.image ret_off with
+  | Insn.Syscall, len -> ret_off + len
+  | Insn.Jmp_rel8 d, len when ret_off + len + d < ret_off -> ret_off + len
+  | _ -> ret_off
+
+let exec_vsyscall t entry next_rip =
+  (* The call pushed [next_rip]; figure out the syscall number, record the
+     fast-path event, run the skip check, then return. *)
+  push t (Int64.of_int next_rip);
+  let sysno =
+    match entry with
+    | Fixed n -> n
+    | Dynamic ->
+        (* Stack layout at this point: [rsp]=inner ret, [rsp+8]=caller ret,
+           [rsp+16]=syscall number pushed by the caller (Go convention). *)
+        Int64.to_int (load64 t (t.rsp + 16))
+  in
+  t.rax <- Int64.of_int sysno;
+  record t `Fast sysno (next_rip - 7);
+  if sysno = sigreturn_sysno then begin
+    (* A patched __restore_rt: discard the call's own return address and
+       resume the interrupted context from the signal frame. *)
+    ignore (pop t);
+    do_sigreturn t
+  end
+  else begin
+    let ret = Int64.to_int (pop t) in
+    let ret = if t.config.libos_skip_check then skip_trailing t ret else ret in
+    t.rip <- ret
+  end
+
+let step t : exit_reason option =
+  if t.rip < 0 || t.rip >= Image.size t.image then Some (Fault "rip out of bounds")
+  else begin
+    let insn, len = Image.insn_at t.image t.rip in
+    let next = t.rip + len in
+    t.steps <- t.steps + 1;
+    match insn with
+    | Insn.Mov_eax_imm32 n ->
+        (* 32-bit destination zero-extends. *)
+        t.rax <- Int64.of_int (n land 0xffffffff);
+        t.rip <- next;
+        None
+    | Mov_rax_imm32 n ->
+        let v = if n land 0x80000000 <> 0 then n - (1 lsl 32) else n in
+        t.rax <- Int64.of_int v;
+        t.rip <- next;
+        None
+    | Mov_rax_rsp8 d ->
+        t.rax <- load64 t (t.rsp + d);
+        t.rip <- next;
+        None
+    | Mov_rsp8_rax d ->
+        store64 t (t.rsp + d) t.rax;
+        t.rip <- next;
+        None
+    | Push_rax ->
+        push t t.rax;
+        t.rip <- next;
+        None
+    | Pop_rax ->
+        t.rax <- pop t;
+        t.rip <- next;
+        None
+    | Push_rbp ->
+        push t t.rbp;
+        t.rip <- next;
+        None
+    | Pop_rbp ->
+        t.rbp <- pop t;
+        t.rip <- next;
+        None
+    | Mov_rbp_rsp ->
+        t.rbp <- Int64.of_int t.rsp;
+        t.rip <- next;
+        None
+    | Sub_rsp_imm8 n ->
+        t.rsp <- t.rsp - n;
+        t.rip <- next;
+        None
+    | Add_rsp_imm8 n ->
+        t.rsp <- t.rsp + n;
+        t.rip <- next;
+        None
+    | Syscall ->
+        let sysno = Int64.to_int t.rax in
+        let site = t.rip in
+        record t `Trap sysno site;
+        (match t.config.on_syscall_trap with
+        | Some hook -> hook t ~sysno ~syscall_off:site
+        | None -> ());
+        if sysno = sigreturn_sysno then do_sigreturn t else t.rip <- next;
+        None
+    | Call_abs addr -> begin
+        match t.config.vsyscall_lookup addr with
+        | Some entry ->
+            exec_vsyscall t entry next;
+            None
+        | None -> Some (Fault (Printf.sprintf "call to unmapped 0x%Lx" addr))
+      end
+    | Call_rel32 d ->
+        push t (Int64.of_int next);
+        t.rip <- next + d;
+        None
+    | Jmp_rel8 d ->
+        t.rip <- next + d;
+        None
+    | Jmp_rel32 d ->
+        t.rip <- next + d;
+        None
+    | Mov_rcx_imm32 n ->
+        let v = if n land 0x80000000 <> 0 then n - (1 lsl 32) else n in
+        t.rcx <- Int64.of_int v;
+        t.rip <- next;
+        None
+    | Dec_rcx ->
+        t.rcx <- Int64.sub t.rcx 1L;
+        t.zf <- Int64.equal t.rcx 0L;
+        t.rip <- next;
+        None
+    | Jnz_rel8 d ->
+        t.rip <- (if t.zf then next else next + d);
+        None
+    | Ret ->
+        if t.rsp >= t.stack_top then Some Halted
+        else begin
+          t.rip <- Int64.to_int (pop t);
+          None
+        end
+    | Nop | Nop2 ->
+        t.rip <- next;
+        None
+    | Hlt -> Some Halted
+    | Invalid b ->
+        if t.config.invalid_opcode_fixup && (b = 0x60 || b = 0xff) then begin
+          (* X-Kernel fixup: the program jumped into the last two bytes of
+             a 7-byte replacement.  Verify and back rip up to the call. *)
+          let call_off = t.rip - 5 in
+          if call_off >= 0 then begin
+            match Image.insn_at t.image call_off with
+            | Insn.Call_abs _, _ ->
+                t.rip <- call_off;
+                None
+            | _ -> Some (Fault (Printf.sprintf "invalid opcode 0x%02x" b))
+          end
+          else Some (Fault (Printf.sprintf "invalid opcode 0x%02x" b))
+        end
+        else Some (Fault (Printf.sprintf "invalid opcode 0x%02x" b))
+  end
+
+let step_once t = try step t with Fault_exn msg -> Some (Fault msg)
+
+let run ?(fuel = 1_000_000) t =
+  let rec go remaining =
+    if remaining = 0 then Fuel_exhausted
+    else begin
+      match step t with
+      | Some reason -> reason
+      | None -> go (remaining - 1)
+    end
+  in
+  try go fuel with Fault_exn msg -> Fault msg

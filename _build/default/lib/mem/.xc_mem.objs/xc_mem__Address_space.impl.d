@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Int64 Page_table Pte

@@ -1,0 +1,1 @@
+lib/mem/address_space.mli: Page_table

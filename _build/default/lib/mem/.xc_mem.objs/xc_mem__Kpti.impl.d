@@ -1,0 +1,1 @@
+lib/mem/kpti.ml: Address_space Page_table Pte Tlb

@@ -1,0 +1,1 @@
+lib/mem/kpti.mli: Address_space Page_table Tlb

@@ -1,0 +1,1 @@
+lib/mem/page_table.ml: Hashtbl Int64 Pte

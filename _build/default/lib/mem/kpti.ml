@@ -1,0 +1,44 @@
+let trampoline_pages = 8
+
+type t = {
+  full : Page_table.t;
+  user : Page_table.t;
+  mutable transitions : int;
+}
+
+let create aspace =
+  let full = Address_space.table aspace in
+  let user = Page_table.create () in
+  (* Copy user-half mappings. *)
+  Page_table.iter full (fun vpn pte ->
+      if Address_space.region_of_vpn vpn = User then Page_table.map user ~vpn pte);
+  (* Trampoline pages: the few kernel pages that must stay mapped for the
+     mode switch itself.  They are mapped non-global in the user view. *)
+  for i = 0 to trampoline_pages - 1 do
+    Page_table.map user
+      ~vpn:(Address_space.kernel_base_vpn + i)
+      (Pte.make ~writable:false ~user:false ~global:false ~pfn:i ())
+  done;
+  { full; user; transitions = 0 }
+
+let full_view t = t.full
+let user_view t = t.user
+
+let kernel_entry t tlb =
+  t.transitions <- t.transitions + 1;
+  Tlb.switch_cr3 tlb
+
+let kernel_exit t tlb =
+  t.transitions <- t.transitions + 1;
+  Tlb.switch_cr3 tlb
+
+let transitions t = t.transitions
+
+let user_view_leaks_kernel t =
+  let leaks = ref false in
+  Page_table.iter t.user (fun vpn _ ->
+      if
+        Address_space.region_of_vpn vpn = Kernel
+        && vpn >= Address_space.kernel_base_vpn + trampoline_pages
+      then leaks := true);
+  !leaks

@@ -1,0 +1,36 @@
+(** Kernel page-table isolation (the Meltdown patch).
+
+    Both clouds in the paper provision patched kernels by default; the
+    patch splits each address space into a kernel view and a stripped user
+    view, and every kernel entry/exit writes CR3.  X-Containers and the
+    Clear-Container guest kernel escape this cost (Section 5.4): the
+    former never enters kernel mode for a syscall, the latter runs
+    unpatched inside the VM.
+
+    This module derives the user view from a full address space and
+    counts the CR3 writes a patched kernel performs. *)
+
+type t
+
+val create : Address_space.t -> t
+(** Build the user-visible shadow table: user mappings plus the handful
+    of trampoline pages that must stay mapped. *)
+
+val trampoline_pages : int
+(** Kernel pages that remain in the user view (entry trampoline, IDT). *)
+
+val full_view : t -> Page_table.t
+val user_view : t -> Page_table.t
+
+val kernel_entry : t -> Tlb.t -> unit
+(** Switch to the full view: one CR3 write (non-global entries die). *)
+
+val kernel_exit : t -> Tlb.t -> unit
+(** Switch back to the user view: another CR3 write. *)
+
+val transitions : t -> int
+(** Total CR3 writes caused by entries + exits. *)
+
+val user_view_leaks_kernel : t -> bool
+(** Sanity invariant: besides trampolines, the user view must contain no
+    kernel mappings (otherwise Meltdown would still read them). *)

@@ -1,0 +1,39 @@
+(** A TLB model with global-bit semantics.
+
+    The performance argument of Section 4.3 is a TLB argument: with the
+    global bit set on kernel mappings, a process switch inside an
+    X-Container keeps kernel translations resident, while stock Xen PV
+    guests lose everything on every switch.  This model tracks which
+    translations are resident, distinguishes global and non-global
+    entries, and counts hits, misses and flushes so the CPU cost model can
+    charge page walks. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1536 entries (typical L2 TLB size of the era). *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val access : t -> vpn:int -> global:bool -> [ `Hit | `Miss ]
+(** Touch a translation; a miss fills it (random replacement when full,
+    deterministic via an internal LCG). *)
+
+val switch_cr3 : t -> unit
+(** Process switch: evict all non-global entries, keep global ones. *)
+
+val flush_all : t -> unit
+(** Full flush including global entries (CR4.PGE toggle). *)
+
+val flush_page : t -> vpn:int -> unit
+(** invlpg. *)
+
+(** Counters since creation: *)
+
+val hits : t -> int
+val misses : t -> int
+val cr3_switches : t -> int
+val full_flushes : t -> int
+
+val reset_counters : t -> unit

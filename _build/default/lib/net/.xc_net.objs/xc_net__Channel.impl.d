@@ -1,0 +1,1 @@
+lib/net/channel.ml: Buffer Bytes Link Netpath Stdlib Xc_os Xc_sim

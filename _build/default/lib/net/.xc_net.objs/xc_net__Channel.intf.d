@@ -1,0 +1,1 @@
+lib/net/channel.mli: Link Netpath Xc_os Xc_sim

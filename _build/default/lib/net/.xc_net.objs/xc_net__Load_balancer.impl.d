@@ -1,0 +1,1 @@
+lib/net/load_balancer.ml:

@@ -1,0 +1,1 @@
+lib/net/netpath.ml: Link List Stdlib Xc_cpu

@@ -1,0 +1,1 @@
+lib/net/tcp_model.ml: Float Link Xc_cpu

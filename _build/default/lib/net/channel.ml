@@ -1,0 +1,66 @@
+type endpoint = { socket : Xc_os.Socket.t; hops : Netpath.hop list }
+
+type t = {
+  engine : Xc_sim.Engine.t;
+  link : Link.t;
+  a : endpoint;
+  b : endpoint;
+  a_rx : Buffer.t;  (** bytes delivered towards side A *)
+  b_rx : Buffer.t;
+  mutable in_flight : int;
+  mutable delivered : int;
+}
+
+let connect ~engine ~link ~a ~b =
+  {
+    engine;
+    link;
+    a;
+    b;
+    a_rx = Buffer.create 256;
+    b_rx = Buffer.create 256;
+    in_flight = 0;
+    delivered = 0;
+  }
+
+let in_flight t = t.in_flight
+let delivered_bytes t = t.delivered
+
+let mss = 1448
+
+let send t ~from data =
+  let sender, receiver_rx, receiver_hops =
+    match from with
+    | `A -> (t.a, t.b_rx, t.b.hops)
+    | `B -> (t.b, t.a_rx, t.a.hops)
+  in
+  if Xc_os.Socket.state sender.socket = Xc_os.Socket.Shut_down then
+    Error "socket shut down"
+  else begin
+    let len = Bytes.length data in
+    let sender_cost = Netpath.message_cost_ns sender.hops ~bytes_len:len ~mss in
+    let receive_cost = Netpath.message_cost_ns receiver_hops ~bytes_len:len ~mss in
+    let wire = Link.transfer_ns t.link ~bytes_len:len in
+    t.in_flight <- t.in_flight + 1;
+    Xc_sim.Engine.schedule_after t.engine
+      (sender_cost +. wire +. receive_cost)
+      (fun _engine ->
+        Buffer.add_bytes receiver_rx data;
+        t.in_flight <- t.in_flight - 1;
+        t.delivered <- t.delivered + len);
+    Ok sender_cost
+  end
+
+let receive t ~side ~max_len =
+  let rx = match side with `A -> t.a_rx | `B -> t.b_rx in
+  let available = Buffer.length rx in
+  if available = 0 then Ok Bytes.empty
+  else begin
+    let n = Stdlib.min max_len available in
+    let out = Bytes.create n in
+    Bytes.blit_string (Buffer.contents rx) 0 out 0 n;
+    let rest = Buffer.sub rx n (available - n) in
+    Buffer.clear rx;
+    Buffer.add_string rx rest;
+    Ok out
+  end

@@ -1,0 +1,39 @@
+(** Cross-host byte channels: socket semantics + priced delivery.
+
+    {!Xc_os.Socket} gives connection semantics inside one kernel;
+    {!Netpath} prices packets between hosts.  A channel glues them: bytes
+    written on one side arrive on the other side's socket after the
+    path's cost and the wire latency, driven by the simulation engine.
+    Integration tests use it to run a PHP-to-MySQL exchange across two
+    guest kernels with both semantics and timing live. *)
+
+type endpoint = {
+  socket : Xc_os.Socket.t;
+  hops : Netpath.hop list;  (** stack this side traverses *)
+}
+
+type t
+
+val connect :
+  engine:Xc_sim.Engine.t ->
+  link:Link.t ->
+  a:endpoint ->
+  b:endpoint ->
+  t
+(** Wire two established sockets (already paired locally or created
+    fresh) into a timed channel.  The sockets' local peers are ignored;
+    the channel becomes the transport. *)
+
+val send :
+  t -> from:[ `A | `B ] -> bytes -> (float, string) result
+(** Queue bytes from one side; they are appended to the other side's
+    receive buffer when the engine reaches delivery time.  Returns the
+    sender-side CPU cost (the caller charges it). *)
+
+val receive : t -> side:[ `A | `B ] -> max_len:int -> (bytes, string) result
+(** Drain delivered bytes on a side ([Bytes.empty] if none yet). *)
+
+val in_flight : t -> int
+(** Messages queued but not yet delivered. *)
+
+val delivered_bytes : t -> int

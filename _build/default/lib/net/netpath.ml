@@ -1,0 +1,29 @@
+module Costs = Xc_cpu.Costs
+
+type hop =
+  | Native_stack
+  | Iptables_forward
+  | Split_driver
+  | Gvisor_netstack
+  | Nested_exit
+  | Wire of Link.t
+
+let hop_cost_ns hop ~bytes_len =
+  match hop with
+  | Native_stack -> Costs.netdev_xmit_ns +. (0.03 *. float_of_int bytes_len)
+  | Iptables_forward -> Costs.bridge_hop_ns
+  | Split_driver -> Costs.split_driver_hop_ns +. (0.02 *. float_of_int bytes_len)
+  | Gvisor_netstack -> Costs.gvisor_net_ns +. (0.10 *. float_of_int bytes_len)
+  | Nested_exit -> Costs.nested_io_ns
+  | Wire link -> Link.transfer_ns link ~bytes_len
+
+let path_cost_ns hops ~bytes_len =
+  List.fold_left (fun acc hop -> acc +. hop_cost_ns hop ~bytes_len) 0. hops
+
+let packets_for ~bytes_len ~mss =
+  if bytes_len <= 0 then 1 else (bytes_len + mss - 1) / mss
+
+let message_cost_ns hops ~bytes_len ~mss =
+  let n = packets_for ~bytes_len ~mss in
+  let per_packet_len = Stdlib.min bytes_len mss in
+  float_of_int n *. path_cost_ns hops ~bytes_len:per_packet_len

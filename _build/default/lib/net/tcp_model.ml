@@ -1,0 +1,19 @@
+type result = {
+  throughput_gbps : float;
+  bottleneck : [ `Wire | `Window | `Cpu ];
+}
+
+let default_mss = 1448
+let default_window = 4 * 1024 * 1024
+
+let steady_throughput ~per_packet_cpu_ns ?(mss = default_mss)
+    ?(window_bytes = default_window) ?(rtt_ns = Xc_cpu.Costs.lan_rtt_ns) ~link () =
+  let wire_bps = Link.capacity_bytes_per_s link *. 8. in
+  let window_bps = float_of_int window_bytes *. 8. /. (rtt_ns /. 1e9) in
+  let cpu_pps = 1e9 /. Float.max 1. per_packet_cpu_ns in
+  let cpu_bps = cpu_pps *. float_of_int mss *. 8. in
+  let tput = Float.min wire_bps (Float.min window_bps cpu_bps) in
+  let bottleneck =
+    if tput = wire_bps then `Wire else if tput = window_bps then `Window else `Cpu
+  in
+  { throughput_gbps = tput /. 1e9; bottleneck }

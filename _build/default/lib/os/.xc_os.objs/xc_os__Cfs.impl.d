@@ -1,0 +1,1 @@
+lib/os/cfs.ml: Float List Process

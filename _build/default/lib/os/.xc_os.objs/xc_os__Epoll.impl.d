@@ -1,0 +1,1 @@
+lib/os/epoll.ml: Hashtbl List Socket

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Cfs List Pipe Process Syscall_nr Vfs Xc_cpu Xc_mem Xc_sim

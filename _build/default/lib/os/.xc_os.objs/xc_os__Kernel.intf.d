@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Cfs Process Syscall_nr Vfs Xc_sim

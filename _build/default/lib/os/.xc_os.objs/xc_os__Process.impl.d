@@ -1,0 +1,1 @@
+lib/os/process.ml: Xc_cpu Xc_mem

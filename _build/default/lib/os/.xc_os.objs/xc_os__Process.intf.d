@@ -1,0 +1,1 @@
+lib/os/process.mli: Xc_mem

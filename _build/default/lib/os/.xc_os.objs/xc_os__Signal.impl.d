@@ -1,0 +1,1 @@
+lib/os/signal.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/os/socket.ml: Buffer Bytes List Stdlib

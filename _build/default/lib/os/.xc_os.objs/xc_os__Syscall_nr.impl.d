@@ -1,0 +1,1 @@
+lib/os/syscall_nr.ml: List

@@ -1,0 +1,1 @@
+lib/os/vfs.ml: Bytes Hashtbl List Stdlib String

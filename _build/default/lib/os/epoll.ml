@@ -1,0 +1,73 @@
+type interest = { readable : bool; writable : bool; edge : bool }
+
+let level_in = { readable = true; writable = false; edge = false }
+let edge_in = { readable = true; writable = false; edge = true }
+
+type event = { fd : int; readable : bool; writable : bool }
+
+type entry = {
+  socket : Socket.t;
+  mutable interest : interest;
+  mutable last_readable : bool;  (** for edge triggering *)
+  mutable last_writable : bool;
+}
+
+type t = { entries : (int, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 16 }
+
+let ctl_add t ~fd socket interest =
+  if Hashtbl.mem t.entries fd then Error "fd already watched"
+  else begin
+    Hashtbl.add t.entries fd
+      { socket; interest; last_readable = false; last_writable = false };
+    Ok ()
+  end
+
+let ctl_mod t ~fd interest =
+  match Hashtbl.find_opt t.entries fd with
+  | None -> Error "fd not watched"
+  | Some e ->
+      e.interest <- interest;
+      Ok ()
+
+let ctl_del t ~fd =
+  if Hashtbl.mem t.entries fd then begin
+    Hashtbl.remove t.entries fd;
+    Ok ()
+  end
+  else Error "fd not watched"
+
+let watched t = Hashtbl.length t.entries
+
+let socket_readable s =
+  match Socket.state s with
+  | Socket.Listening { pending; _ } -> pending <> []
+  | Socket.Established | Socket.Shut_down -> (
+      Socket.buffered s > 0
+      ||
+      (* A closed peer makes recv return EOF: readable. *)
+      match Socket.recv s ~max_len:0 with Error _ -> true | Ok _ -> false)
+  | Socket.Closed | Socket.Connecting -> false
+
+let socket_writable s =
+  match (Socket.state s, Socket.peer s) with
+  | Socket.Established, Some p -> Socket.buffered p < Socket.buffer_capacity
+  | _ -> false
+
+let wait t =
+  let events = ref [] in
+  Hashtbl.iter
+    (fun fd e ->
+      let r_now = e.interest.readable && socket_readable e.socket in
+      let w_now = e.interest.writable && socket_writable e.socket in
+      let deliver =
+        if e.interest.edge then
+          (r_now && not e.last_readable) || (w_now && not e.last_writable)
+        else r_now || w_now
+      in
+      e.last_readable <- r_now;
+      e.last_writable <- w_now;
+      if deliver then events := { fd; readable = r_now; writable = w_now } :: !events)
+    t.entries;
+  List.sort (fun a b -> compare a.fd b.fd) !events

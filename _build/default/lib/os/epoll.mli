@@ -1,0 +1,33 @@
+(** epoll: the readiness mechanism behind every event-driven server here.
+
+    NGINX, memcached, Redis et al. are "single-threaded event-driven"
+    applications (Section 2.2); their recipes all start with
+    [epoll_wait].  This model implements the semantics those loops rely
+    on: an interest set over sockets, level- and edge-triggered modes,
+    and readiness computed from the actual socket state. *)
+
+type interest = { readable : bool; writable : bool; edge : bool }
+
+val level_in : interest
+(** Level-triggered, read-interest only (the common server loop). *)
+
+val edge_in : interest
+(** Edge-triggered read interest (what NGINX actually uses). *)
+
+type event = { fd : int; readable : bool; writable : bool }
+
+type t
+
+val create : unit -> t
+
+val ctl_add : t -> fd:int -> Socket.t -> interest -> (unit, string) result
+val ctl_mod : t -> fd:int -> interest -> (unit, string) result
+val ctl_del : t -> fd:int -> (unit, string) result
+val watched : t -> int
+
+val wait : t -> event list
+(** Ready events, ascending by fd.  Level-triggered entries report as
+    long as the condition holds; edge-triggered entries only report when
+    readiness {i rises} since the last [wait] that delivered them.  A
+    socket is readable when bytes are buffered or the peer closed, and
+    writable when established with peer buffer space. *)

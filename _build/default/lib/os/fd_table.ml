@@ -1,0 +1,68 @@
+type target =
+  | Std of string
+  | File of Vfs.fd
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Sock of Socket.t
+
+let max_fds = 1024
+
+type t = { slots : target option array }
+
+let create () =
+  let slots = Array.make max_fds None in
+  slots.(0) <- Some (Std "stdin");
+  slots.(1) <- Some (Std "stdout");
+  slots.(2) <- Some (Std "stderr");
+  { slots }
+
+let lowest_free t =
+  let rec go i =
+    if i >= max_fds then None
+    else if t.slots.(i) = None then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let allocate t target =
+  match lowest_free t with
+  | Some fd ->
+      t.slots.(fd) <- Some target;
+      fd
+  | None -> invalid_arg "Fd_table.allocate: table full"
+
+let get t fd =
+  if fd < 0 || fd >= max_fds then None else t.slots.(fd)
+
+let dup t fd =
+  match get t fd with
+  | None -> Error "bad file descriptor"
+  | Some target -> begin
+      match lowest_free t with
+      | Some newfd ->
+          t.slots.(newfd) <- Some target;
+          Ok newfd
+      | None -> Error "too many open files"
+    end
+
+let dup2 t fd newfd =
+  if newfd < 0 || newfd >= max_fds then Error "bad target descriptor"
+  else begin
+    match get t fd with
+    | None -> Error "bad file descriptor"
+    | Some target ->
+        t.slots.(newfd) <- Some target;
+        Ok ()
+  end
+
+let close t fd =
+  match get t fd with
+  | None -> Error "bad file descriptor"
+  | Some _ ->
+      t.slots.(fd) <- None;
+      Ok ()
+
+let open_count t =
+  Array.fold_left (fun acc s -> if s = None then acc else acc + 1) 0 t.slots
+
+let clone t = { slots = Array.copy t.slots }

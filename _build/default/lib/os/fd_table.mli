@@ -1,0 +1,36 @@
+(** Per-process file-descriptor tables.
+
+    POSIX semantics the UnixBench loop depends on: [dup] returns the
+    lowest free descriptor, [close] frees the slot, descriptors 0-2 are
+    pre-wired.  Descriptors name VFS files, pipe ends, or sockets. *)
+
+type target =
+  | Std of string  (** stdin/stdout/stderr placeholders *)
+  | File of Vfs.fd
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Sock of Socket.t
+
+type t
+
+val create : unit -> t
+(** Fresh table with 0/1/2 bound to std streams. *)
+
+val allocate : t -> target -> int
+(** Install [target] at the lowest free descriptor. *)
+
+val get : t -> int -> target option
+
+val dup : t -> int -> (int, string) result
+(** Duplicate a descriptor to the lowest free slot (both name the same
+    target). *)
+
+val dup2 : t -> int -> int -> (unit, string) result
+(** Replace [newfd] (closing what was there). *)
+
+val close : t -> int -> (unit, string) result
+val open_count : t -> int
+val max_fds : int
+
+val clone : t -> t
+(** What [fork] does: child shares targets, gets its own table. *)

@@ -1,0 +1,152 @@
+module Costs = Xc_cpu.Costs
+
+type config = { smp : bool; kernel_global : bool; pv_mmu : bool }
+
+let default_config = { smp = true; kernel_global = false; pv_mmu = false }
+let xlibos_config = { smp = true; kernel_global = true; pv_mmu = true }
+
+type t = {
+  config : config;
+  vfs : Vfs.t;
+  scheduler : Cfs.t;
+  metrics : Xc_sim.Metrics.t;
+  mutable next_pid : int;
+  mutable procs : Process.t list;
+  kernel_pages : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    vfs = Vfs.create ();
+    scheduler = Cfs.create ();
+    metrics = Xc_sim.Metrics.create ();
+    next_pid = 1;
+    procs = [];
+    kernel_pages = 2048; (* 8 MB of resident kernel text/data *)
+  }
+
+let config t = t.config
+let vfs t = t.vfs
+let scheduler t = t.scheduler
+let metrics t = t.metrics
+let process_count t = List.length t.procs
+let processes t = t.procs
+
+let fresh_aspace t ~id =
+  let aspace = Xc_mem.Address_space.create ~id in
+  Xc_mem.Address_space.map_kernel aspace ~global:t.config.kernel_global
+    ~vpn:Xc_mem.Address_space.kernel_base_vpn ~pages:t.kernel_pages ~first_pfn:0;
+  Xc_mem.Address_space.map_user aspace ~vpn:0x1000 ~pages:Costs.process_pages
+    ~first_pfn:0x10000;
+  aspace
+
+(* PV guests pay hypervisor validation for every page-table entry they
+   install, in mmu_update batches. *)
+let pv_build_cost ~pages =
+  let batches = (pages + Costs.pv_mmu_batch_entries - 1) / Costs.pv_mmu_batch_entries in
+  (float_of_int batches *. (Costs.hypercall_ns +. Costs.pv_mmu_update_ns))
+  +. (float_of_int pages *. Costs.pv_validation_per_entry_ns)
+
+let fork_cost_ns t ~pages =
+  let direct = Costs.fork_base_ns +. (float_of_int pages *. Costs.fork_per_page_ns) in
+  if t.config.pv_mmu then direct +. pv_build_cost ~pages else direct
+
+let exec_cost_ns t =
+  let pages = Costs.process_pages in
+  if t.config.pv_mmu then Costs.exec_base_ns +. pv_build_cost ~pages
+  else Costs.exec_base_ns
+
+let spawn t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let p = Process.create ~pid ~aspace:(fresh_aspace t ~id:pid) () in
+  t.procs <- t.procs @ [ p ];
+  Cfs.add t.scheduler p;
+  Xc_sim.Metrics.incr t.metrics "process.spawn";
+  p
+
+let fork t parent =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let aspace = Xc_mem.Address_space.create ~id:pid in
+  (* Copy the parent's full table, as fork does. *)
+  Xc_mem.Page_table.iter
+    (Xc_mem.Address_space.table (Process.aspace parent))
+    (fun vpn pte -> Xc_mem.Page_table.map (Xc_mem.Address_space.table aspace) ~vpn pte);
+  let child =
+    Process.create ~pid ~ppid:(Process.pid parent)
+      ~resident_pages:(Process.resident_pages parent)
+      ~aspace ()
+  in
+  t.procs <- t.procs @ [ child ];
+  Cfs.add t.scheduler child;
+  Xc_sim.Metrics.incr t.metrics "process.fork";
+  (child, fork_cost_ns t ~pages:(Process.resident_pages parent))
+
+let exec t p =
+  Xc_sim.Metrics.incr t.metrics "process.exec";
+  ignore p;
+  exec_cost_ns t
+
+let exit_process t p =
+  Process.set_state p Process.Zombie;
+  Cfs.remove t.scheduler p;
+  Xc_sim.Metrics.incr t.metrics "process.exit";
+  120.
+
+let wait t parent =
+  let zombie =
+    List.find_opt
+      (fun p ->
+        Process.state p = Process.Zombie && Process.ppid p = Process.pid parent)
+      t.procs
+  in
+  match zombie with
+  | Some z ->
+      t.procs <- List.filter (fun p -> p != z) t.procs;
+      Xc_sim.Metrics.incr t.metrics "process.reap";
+      (Some z, 150.)
+  | None -> (None, 150.)
+
+type op =
+  | Cheap of Syscall_nr.t
+  | File_read of int
+  | File_write of int
+  | Pipe_read of int
+  | Pipe_write of int
+  | Socket_send of int
+  | Socket_recv of int
+  | Epoll
+  | Accept_op
+  | Open_op
+  | Stat_op
+  | Fork_op
+  | Exec_op
+  | Wait_op
+
+(* Lock traffic and TLB-shootdown IPIs only exist with SMP enabled. *)
+let smp_tax t = if t.config.smp then 30. else 0.
+
+let syscall_work_ns t op =
+  match op with
+  | Cheap _ -> Costs.cheap_syscall_work_ns
+  | File_read n | File_write n -> Vfs.copy_cost_ns ~bytes_len:n +. smp_tax t
+  | Pipe_read n | Pipe_write n -> Pipe.transfer_cost_ns ~bytes_len:n +. smp_tax t
+  | Socket_send n | Socket_recv n -> 350. +. (0.05 *. float_of_int n) +. smp_tax t
+  | Epoll -> 180. +. smp_tax t
+  | Accept_op -> 420. +. smp_tax t
+  | Open_op -> 260. +. smp_tax t
+  | Stat_op -> 180. +. smp_tax t
+  | Fork_op -> fork_cost_ns t ~pages:Costs.process_pages
+  | Exec_op -> exec_cost_ns t
+  | Wait_op -> 150.
+
+let context_switch_cost_ns t =
+  let runnable = Cfs.runnable_count t.scheduler in
+  let base =
+    Costs.context_switch_base_ns
+    +. (Costs.runqueue_ns_per_task *. float_of_int runnable)
+    +. Costs.cr3_switch_ns +. Costs.tlb_refill_user_ns
+  in
+  if t.config.kernel_global then base else base +. Costs.tlb_refill_kernel_ns

@@ -1,0 +1,96 @@
+type signo = int
+
+let sigkill = 9
+let sigterm = 15
+let sigusr1 = 10
+let sigchld = 17
+let sigsegv = 11
+let max_signo = 64
+
+type disposition = Default | Ignore | Handler of int
+type default_action = Terminate | Ignore_action | Stop
+
+let default_action signo =
+  if signo = sigchld then Ignore_action
+  else if signo = 19 (* SIGSTOP *) then Stop
+  else Terminate
+
+type t = {
+  dispositions : disposition array; (* indexed by signo *)
+  mutable blocked : int64; (* bitmask *)
+  mutable pending : int64;
+}
+
+let create () =
+  { dispositions = Array.make (max_signo + 1) Default; blocked = 0L; pending = 0L }
+
+let check_signo signo =
+  if signo < 1 || signo > max_signo then invalid_arg "Signal: bad signal number"
+
+let bit signo = Int64.shift_left 1L signo
+let test mask signo = Int64.logand mask (bit signo) <> 0L
+
+let set_disposition t signo d =
+  check_signo signo;
+  if signo = sigkill then Error "SIGKILL cannot be caught or ignored"
+  else begin
+    t.dispositions.(signo) <- d;
+    Ok ()
+  end
+
+let disposition t signo =
+  check_signo signo;
+  t.dispositions.(signo)
+
+let block t signo =
+  check_signo signo;
+  if signo = sigkill then Error "SIGKILL cannot be blocked"
+  else begin
+    t.blocked <- Int64.logor t.blocked (bit signo);
+    Ok ()
+  end
+
+let unblock t signo =
+  check_signo signo;
+  t.blocked <- Int64.logand t.blocked (Int64.lognot (bit signo))
+
+let is_blocked t signo =
+  check_signo signo;
+  test t.blocked signo
+
+let raise_signal t signo =
+  check_signo signo;
+  t.pending <- Int64.logor t.pending (bit signo)
+
+let pending t =
+  List.filter (fun s -> test t.pending s) (List.init max_signo (fun i -> i + 1))
+
+type delivery =
+  | Nothing
+  | Run_handler of { signo : signo; handler : int }
+  | Kill of signo
+  | Ignored of signo
+
+let next_delivery t =
+  let deliverable =
+    List.find_opt (fun s -> not (test t.blocked s)) (pending t)
+  in
+  match deliverable with
+  | None -> Nothing
+  | Some signo ->
+      t.pending <- Int64.logand t.pending (Int64.lognot (bit signo));
+      (match t.dispositions.(signo) with
+      | Handler h -> Run_handler { signo; handler = h }
+      | Ignore -> Ignored signo
+      | Default -> begin
+          match default_action signo with
+          | Terminate | Stop -> Kill signo
+          | Ignore_action -> Ignored signo
+        end)
+
+let fork_inherit t =
+  { dispositions = Array.copy t.dispositions; blocked = t.blocked; pending = 0L }
+
+let exec_reset t =
+  let d = Array.map (function Handler _ -> Default | other -> other) t.dispositions in
+  { dispositions = d; blocked = t.blocked; pending = t.pending }

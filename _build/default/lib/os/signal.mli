@@ -1,0 +1,60 @@
+(** POSIX signal bookkeeping for the guest kernel.
+
+    The machine-level side (frames, [rt_sigreturn], the ABOM-patched
+    trampoline) lives in {!Xc_isa.Machine}; this module is the kernel
+    side: per-process pending sets, blocked masks, dispositions, and the
+    delivery rules (SIGKILL cannot be caught or blocked, lowest-numbered
+    deliverable signal first). *)
+
+type signo = int
+
+val sigkill : signo
+val sigterm : signo
+val sigusr1 : signo
+val sigchld : signo
+val sigsegv : signo
+val max_signo : signo
+
+type disposition = Default | Ignore | Handler of int  (** handler address *)
+
+type default_action = Terminate | Ignore_action | Stop
+
+val default_action : signo -> default_action
+
+type t
+(** One process's signal state. *)
+
+val create : unit -> t
+
+val set_disposition : t -> signo -> disposition -> (unit, string) result
+(** SIGKILL's disposition cannot be changed. *)
+
+val disposition : t -> signo -> disposition
+
+val block : t -> signo -> (unit, string) result
+(** Add to the blocked mask; SIGKILL cannot be blocked. *)
+
+val unblock : t -> signo -> unit
+val is_blocked : t -> signo -> bool
+
+val raise_signal : t -> signo -> unit
+(** Mark pending (idempotent: standard signals do not queue). *)
+
+val pending : t -> signo list
+
+type delivery =
+  | Nothing  (** nothing deliverable *)
+  | Run_handler of { signo : signo; handler : int }
+  | Kill of signo
+  | Ignored of signo
+
+val next_delivery : t -> delivery
+(** Pick and consume the next deliverable pending signal:
+    lowest-numbered unblocked first; blocked signals stay pending. *)
+
+val fork_inherit : t -> t
+(** What fork copies: dispositions and mask, but not pending signals. *)
+
+val exec_reset : t -> t
+(** What execve does: handlers fall back to default, the mask and the
+    pending set survive. *)

@@ -1,0 +1,1 @@
+lib/platforms/ablation.ml: Config Syscall_path Xc_cpu

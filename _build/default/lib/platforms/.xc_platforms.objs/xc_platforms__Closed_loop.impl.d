@@ -1,0 +1,1 @@
+lib/platforms/closed_loop.ml: Array Float List Stdlib Xc_cpu Xc_sim

@@ -1,0 +1,1 @@
+lib/platforms/closed_loop.mli: Xc_sim

@@ -1,0 +1,1 @@
+lib/platforms/cluster_sim.ml: Array Float Platform Queue Xc_cpu Xc_sim

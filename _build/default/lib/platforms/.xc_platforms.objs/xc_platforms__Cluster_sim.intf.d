@@ -1,0 +1,1 @@
+lib/platforms/cluster_sim.mli:

@@ -1,0 +1,1 @@
+lib/platforms/config.ml: List

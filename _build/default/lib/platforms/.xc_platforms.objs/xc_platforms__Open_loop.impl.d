@@ -1,0 +1,1 @@
+lib/platforms/open_loop.ml: Array Closed_loop Float Stdlib Xc_sim

@@ -1,0 +1,1 @@
+lib/platforms/open_loop.mli: Closed_loop

@@ -1,0 +1,1 @@
+lib/platforms/platform.ml: Config Float Stdlib Syscall_path Xc_cpu Xc_hypervisor Xc_net Xc_os

@@ -1,0 +1,1 @@
+lib/platforms/platform.mli: Config Xc_hypervisor Xc_net Xc_os

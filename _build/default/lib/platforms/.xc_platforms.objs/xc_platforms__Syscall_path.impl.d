@@ -1,0 +1,1 @@
+lib/platforms/syscall_path.ml: Config Float Xc_cpu

@@ -1,0 +1,1 @@
+lib/platforms/syscall_path.mli: Config

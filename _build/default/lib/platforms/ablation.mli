@@ -1,0 +1,49 @@
+(** Ablation study: X-Containers with individual design choices removed.
+
+    The paper argues for four ABI modifications (Sections 4.2-4.4) plus
+    the kernel-customization freedom of Section 3.2.  This module prices
+    a request shape on an X-Container with each mechanism disabled, so
+    the benchmark harness can show how much every choice contributes:
+
+    - [No_abom]: syscalls keep trapping into the X-Kernel (still bounced
+      without an address-space switch, but never rewritten);
+    - [No_global_bit]: X-LibOS mappings lose the global bit, so every
+      process switch refills the kernel TLB footprint (stock-PV rule);
+    - [No_direct_events]: interrupts delivered through the hypervisor
+      upcall instead of the emulated user-mode frame;
+    - [No_user_iret]: iret/sysret through the iret hypercall again;
+    - [Stock_pv]: all modifications off — structurally a Xen-Container;
+    - [Smp_disabled]: the Section 3.2 customization in the {i other}
+      direction: a single-threaded app's X-LibOS built without SMP,
+      dropping lock and shootdown costs (an improvement, not a loss). *)
+
+type knob =
+  | Full
+  | No_abom
+  | No_global_bit
+  | No_direct_events
+  | No_user_iret
+  | Stock_pv
+  | Smp_disabled
+
+val knob_name : knob -> string
+val all : knob list
+
+type request_shape = {
+  syscalls : int;
+  irqs : int;
+  process_switches : int;
+  abom_coverage : float;
+}
+
+val shape : syscalls:int -> irqs:int -> hops:int -> coverage:float -> request_shape
+(** Build a shape by hand (the apps layer sits above this library, so the
+    harness extracts the counts from its recipes). *)
+
+val service_delta_ns : knob -> request_shape -> float
+(** Extra service time per request versus the full X-Container (negative
+    for [Smp_disabled]). *)
+
+val relative_throughput : knob -> request_shape -> base_service_ns:float -> float
+(** Throughput relative to the full X-Container for a request whose full
+    service time is [base_service_ns]. *)

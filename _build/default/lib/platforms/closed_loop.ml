@@ -1,0 +1,112 @@
+module Engine = Xc_sim.Engine
+module Prng = Xc_sim.Prng
+module Histogram = Xc_sim.Histogram
+
+type server = {
+  units : int;
+  service_ns : Prng.t -> float;
+  overhead_ns : float;
+}
+
+type config = {
+  connections : int;
+  rtt_ns : float;
+  duration_ns : float;
+  warmup_ns : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    connections = 32;
+    rtt_ns = Xc_cpu.Costs.lan_rtt_ns;
+    duration_ns = 2e9;
+    warmup_ns = 2e8;
+    seed = 42;
+  }
+
+type result = {
+  throughput_rps : float;
+  mean_latency_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  completed : int;
+}
+
+(* Per-server mutable state during a run. *)
+type state = {
+  server : server;
+  unit_free : float array; (* next-free absolute time per service unit *)
+  latencies : Histogram.t;
+  mutable completed : int;
+  rng : Prng.t;
+}
+
+let least_loaded st =
+  let best = ref 0 in
+  for i = 1 to Array.length st.unit_free - 1 do
+    if st.unit_free.(i) < st.unit_free.(!best) then best := i
+  done;
+  !best
+
+let run_states config states =
+  let engine = Engine.create () in
+  let measure_start = config.warmup_ns in
+  let measure_end = config.warmup_ns +. config.duration_ns in
+  let rec client_loop st _engine =
+    let now = Engine.now engine in
+    if now < measure_end then begin
+      let sent_at = now in
+      (* Request reaches the server after half an RTT. *)
+      let arrival = now +. (config.rtt_ns /. 2.) in
+      let u = least_loaded st in
+      let start = Float.max arrival st.unit_free.(u) in
+      let service = st.server.service_ns st.rng +. st.server.overhead_ns in
+      let finish = start +. service in
+      st.unit_free.(u) <- finish;
+      let response_at = finish +. (config.rtt_ns /. 2.) in
+      Engine.schedule engine response_at (fun engine ->
+          let now = Engine.now engine in
+          if sent_at >= measure_start && now <= measure_end then begin
+            st.completed <- st.completed + 1;
+            Histogram.add st.latencies (now -. sent_at)
+          end;
+          client_loop st engine)
+    end
+  in
+  List.iter
+    (fun st ->
+      for _ = 1 to config.connections do
+        (* Stagger initial sends a little to avoid a thundering herd. *)
+        Engine.schedule engine (Prng.float st.rng 1e6) (fun engine ->
+            client_loop st engine)
+      done)
+    states;
+  Engine.run engine;
+  List.map
+    (fun st ->
+      {
+        throughput_rps = float_of_int st.completed /. (config.duration_ns /. 1e9);
+        mean_latency_ns = Histogram.mean st.latencies;
+        p50_ns = Histogram.percentile st.latencies 50.;
+        p99_ns = Histogram.percentile st.latencies 99.;
+        completed = st.completed;
+      })
+    states
+
+let make_state seed i server =
+  {
+    server;
+    unit_free = Array.make (Stdlib.max 1 server.units) 0.;
+    latencies = Histogram.create ();
+    completed = 0;
+    rng = Prng.create (seed + (i * 7919));
+  }
+
+let run config server =
+  match run_states config [ make_state config.seed 0 server ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let run_many config servers =
+  run_states config (List.mapi (make_state config.seed) servers)

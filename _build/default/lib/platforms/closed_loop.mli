@@ -1,0 +1,41 @@
+(** Closed-loop benchmark driver (wrk/ab/memtier-style).
+
+    [connections] clients each keep exactly one request outstanding: send,
+    wait for the response, immediately send again — the loop wrk and ab
+    run.  The server side is a pool of service units (min(workers, cores)
+    for process-per-request servers, 1 for single-threaded event loops),
+    each serving FIFO.  Per-request scheduling overhead is added on top of
+    the service time, which is how container-switch costs surface in
+    Figures 3, 6, 8, 9. *)
+
+type server = {
+  units : int;  (** parallel service units *)
+  service_ns : Xc_sim.Prng.t -> float;  (** per-request service sample *)
+  overhead_ns : float;  (** per-request scheduling/switch overhead *)
+}
+
+type config = {
+  connections : int;
+  rtt_ns : float;  (** client-to-server round trip (network + client) *)
+  duration_ns : float;
+  warmup_ns : float;
+  seed : int;
+}
+
+val default_config : config
+(** 32 connections, LAN RTT, 2s simulated measurement after 0.2s warmup. *)
+
+type result = {
+  throughput_rps : float;
+  mean_latency_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  completed : int;
+}
+
+val run : config -> server -> result
+
+val run_many : config -> server list -> result list
+(** Run several servers {i sharing the simulated time axis} but with
+    independent queues (one client group per server), e.g. the
+    per-container wrk threads of Figure 8. *)

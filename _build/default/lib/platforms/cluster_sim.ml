@@ -1,0 +1,289 @@
+module Engine = Xc_sim.Engine
+module Prng = Xc_sim.Prng
+module Histogram = Xc_sim.Histogram
+
+type mode = Flat | Hierarchical
+
+type config = {
+  mode : mode;
+  pcpus : int;
+  containers : int;
+  connections_per_container : int;
+  stage_cpu_ns : float array;
+  processes_per_container : int;
+  client_rtt_ns : float;
+  timeslice_ns : float;
+  container_switch_ns : runnable:int -> float;
+  process_switch_ns : float;
+  duration_ns : float;
+  warmup_ns : float;
+  seed : int;
+}
+
+let default_config mode ~containers =
+  {
+    mode;
+    pcpus = 16;
+    containers;
+    connections_per_container = 5;
+    (* NGINX front half -> FPM worker -> opcache/session helper ->
+       logger: the four processes of the webdevops container each touch
+       the request. *)
+    stage_cpu_ns = [| 60_000.; 290_000.; 75_000.; 75_000. |];
+    processes_per_container = 4;
+    client_rtt_ns = 25e6;
+    timeslice_ns = 1e6;
+    container_switch_ns =
+      (fun ~runnable ->
+        Xc_cpu.Costs.context_switch_base_ns
+        +. (Xc_cpu.Costs.runqueue_ns_per_task *. float_of_int runnable)
+        +. Platform.llc_pressure_ns ~runnable
+        +. Xc_cpu.Costs.tlb_refill_user_ns +. Xc_cpu.Costs.tlb_refill_kernel_ns);
+    process_switch_ns =
+      Xc_cpu.Costs.context_switch_base_ns +. Xc_cpu.Costs.cr3_switch_ns
+      +. Xc_cpu.Costs.tlb_refill_user_ns;
+    duration_ns = 3e8;
+    warmup_ns = 5e7;
+    seed = 17;
+  }
+
+type result = {
+  throughput_rps : float;
+  mean_latency_ns : float;
+  p99_latency_ns : float;
+  container_switches : int;
+  process_switches : int;
+  switch_overhead_ns : float;
+  busy_fraction : float;
+}
+
+(* One CPU burst of a request on a specific process of a container. *)
+type burst = {
+  container : int;
+  mutable process : int;
+  mutable remaining : float;
+  mutable stage : int;
+  sent_at : float;
+}
+
+(* A schedulable entity (a process under Flat, a container/vCPU under
+   Hierarchical): its private FIFO of work, plus queueing state. *)
+type entity = {
+  id : int;
+  work : burst Queue.t;
+  mutable queued : bool;  (** in the ready queue *)
+  mutable held : bool;  (** currently on some core *)
+}
+
+type core_state = {
+  mutable last_container : int;
+  mutable last_process : int;
+  mutable cur_entity : int;  (** -1 when idle *)
+  mutable slice_used : float;
+  mutable idle : bool;
+}
+
+let run config =
+  if Array.length config.stage_cpu_ns = 0 then invalid_arg "Cluster_sim.run: stages";
+  let engine = Engine.create () in
+  let rng = Prng.create config.seed in
+  let latencies = Histogram.create () in
+  let completed = ref 0 in
+  let container_switches = ref 0 in
+  let process_switches = ref 0 in
+  let switch_overhead = ref 0. in
+  let busy = ref 0. in
+  let measure_start = config.warmup_ns in
+  let measure_end = config.warmup_ns +. config.duration_ns in
+  let n_stages = Array.length config.stage_cpu_ns in
+
+  (* Entities: one per container (hier) or one per process (flat). *)
+  let n_entities =
+    match config.mode with
+    | Hierarchical -> config.containers
+    | Flat -> config.containers * config.processes_per_container
+  in
+  let entities =
+    Array.init n_entities (fun id ->
+        { id; work = Queue.create (); queued = false; held = false })
+  in
+  let entity_of_burst (b : burst) =
+    match config.mode with
+    | Hierarchical -> entities.(b.container)
+    | Flat -> entities.((b.container * config.processes_per_container) + b.process)
+  in
+  let ready : entity Queue.t = Queue.create () in
+  let held_count = ref 0 in
+  let cores =
+    Array.init config.pcpus (fun _ ->
+        {
+          last_container = -1;
+          last_process = -1;
+          cur_entity = -1;
+          slice_used = 0.;
+          idle = true;
+        })
+  in
+  let idle_cores : int Queue.t = Queue.create () in
+  Array.iteri (fun i _ -> Queue.add i idle_cores) cores;
+
+  (* Forward declaration of the dispatch loop. *)
+  let rec wake_core engine =
+    match Queue.take_opt idle_cores with
+    | Some i when cores.(i).idle ->
+        cores.(i).idle <- false;
+        dispatch i engine
+    | Some _ -> wake_core engine
+    | None -> ()
+
+  and enqueue_burst engine (b : burst) =
+    let e = entity_of_burst b in
+    Queue.add b e.work;
+    if (not e.queued) && not e.held then begin
+      e.queued <- true;
+      Queue.add e ready;
+      wake_core engine
+    end
+
+  and finish_request engine (b : burst) =
+    let now = Engine.now engine in
+    let response_at = now +. (config.client_rtt_ns /. 2.) in
+    Engine.schedule engine response_at (fun engine ->
+        let now' = Engine.now engine in
+        if b.sent_at >= measure_start && now' <= measure_end then begin
+          incr completed;
+          Histogram.add latencies (now' -. b.sent_at)
+        end;
+        (* Closed loop: the client immediately sends the next request. *)
+        if now' < measure_end then send_request engine b.container)
+
+  and send_request engine container =
+    let now = Engine.now engine in
+    let arrive_at = now +. (config.client_rtt_ns /. 2.) in
+    let b =
+      {
+        container;
+        process = 0;
+        remaining = config.stage_cpu_ns.(0);
+        stage = 0;
+        sent_at = now;
+      }
+    in
+    Engine.schedule engine arrive_at (fun engine -> enqueue_burst engine b)
+
+  and advance_stage engine (b : burst) =
+    b.stage <- b.stage + 1;
+    if b.stage >= n_stages then finish_request engine b
+    else begin
+      b.process <- b.stage mod config.processes_per_container;
+      b.remaining <- config.stage_cpu_ns.(b.stage);
+      enqueue_burst engine b
+    end
+
+  (* Pick the next entity for a core, honouring slice budgets. *)
+  and pick_entity core =
+    let continue_current () =
+      if core.cur_entity >= 0 then begin
+        let e = entities.(core.cur_entity) in
+        if (not (Queue.is_empty e.work)) && core.slice_used < config.timeslice_ns
+        then Some (e, false)
+        else None
+      end
+      else None
+    in
+    match continue_current () with
+    | Some _ as res -> res
+    | None -> begin
+        (* Release the current entity. *)
+        (if core.cur_entity >= 0 then begin
+           let e = entities.(core.cur_entity) in
+           e.held <- false;
+           decr held_count;
+           if (not (Queue.is_empty e.work)) && not e.queued then begin
+             e.queued <- true;
+             Queue.add e ready
+           end;
+           core.cur_entity <- -1
+         end);
+        match Queue.take_opt ready with
+        | Some e ->
+            e.queued <- false;
+            e.held <- true;
+            incr held_count;
+            core.cur_entity <- e.id;
+            core.slice_used <- 0.;
+            Some (e, true)
+        | None -> None
+      end
+
+  and dispatch core_idx engine =
+    let core = cores.(core_idx) in
+    match pick_entity core with
+    | None ->
+        core.idle <- true;
+        core.cur_entity <- -1;
+        Queue.add core_idx idle_cores
+    | Some (e, _fresh) -> begin
+        match Queue.take_opt e.work with
+        | None ->
+            (* Raced empty; retry. *)
+            dispatch core_idx engine
+        | Some b ->
+            let now = Engine.now engine in
+            (* Switch-cost accounting. *)
+            let switch_cost =
+              if core.last_container <> b.container then begin
+                incr container_switches;
+                (* The bookkeeping term scales with the task population
+                   this scheduler manages (CFS statistics, cgroup walks,
+                   load-balancer scans touch per-task state): all 4N
+                   processes under Flat, N vCPUs under Hierarchical.
+                   The instantaneous queue length [ready + held] is much
+                   smaller, but the cold state is still resident. *)
+                let runnable = n_entities in
+                ignore !held_count;
+                config.container_switch_ns ~runnable
+              end
+              else if core.last_process <> b.process then begin
+                incr process_switches;
+                config.process_switch_ns
+              end
+              else 0.
+            in
+            core.last_container <- b.container;
+            core.last_process <- b.process;
+            let slice =
+              Float.min b.remaining (config.timeslice_ns -. core.slice_used)
+            in
+            let slice = Float.max slice 1_000. in
+            switch_overhead := !switch_overhead +. switch_cost;
+            busy := !busy +. switch_cost +. slice;
+            core.slice_used <- core.slice_used +. slice;
+            Engine.schedule engine
+              (now +. switch_cost +. slice)
+              (fun engine ->
+                b.remaining <- b.remaining -. slice;
+                if b.remaining > 1. then Queue.add b e.work
+                else advance_stage engine b;
+                dispatch core_idx engine)
+      end
+  in
+
+  (* Start the closed-loop clients, staggered. *)
+  for c = 0 to config.containers - 1 do
+    for _ = 1 to config.connections_per_container do
+      Engine.schedule engine (Prng.float rng 1e6) (fun engine ->
+          send_request engine c)
+    done
+  done;
+  Engine.run ~until:(measure_end +. config.client_rtt_ns) engine;
+  {
+    throughput_rps = float_of_int !completed /. (config.duration_ns /. 1e9);
+    mean_latency_ns = Histogram.mean latencies;
+    p99_latency_ns = Histogram.percentile latencies 99.;
+    container_switches = !container_switches;
+    process_switches = !process_switches;
+    switch_overhead_ns = !switch_overhead;
+    busy_fraction =
+      !busy /. (float_of_int config.pcpus *. (measure_end +. config.client_rtt_ns));
+  }

@@ -1,0 +1,57 @@
+(** An event-driven multi-container scheduling simulation.
+
+    The Figure 8 claim — a flat host runqueue of 4N processes loses to
+    the X-Kernel's two-level hierarchy (N vCPUs x 4 processes) — is
+    priced analytically in {!Xc_apps}'s scalability model.  This module
+    makes the same claim {i emerge} from mechanism: it simulates cores,
+    runqueues, time slices and per-switch costs directly, with requests
+    hopping between the processes of a container (NGINX -> PHP-FPM ->
+    NGINX), and measures throughput and the actual switch counts.
+
+    Two scheduling modes:
+    - [Flat]: one global FIFO runqueue; every dispatch that changes
+      container pays the cross-container switch cost with the {i whole}
+      system's runnable count;
+    - [Hierarchical]: cores pick a container first (round-robin over
+      containers with runnable work; switch cost scales with the number
+      of runnable {i containers}), then run that container's processes
+      with cheap intra-container switches.
+
+    The harness cross-validates this simulation against the analytic
+    Figure 8 model at small container counts. *)
+
+type mode = Flat | Hierarchical
+
+type config = {
+  mode : mode;
+  pcpus : int;
+  containers : int;
+  connections_per_container : int;
+  stage_cpu_ns : float array;
+      (** CPU bursts of one request; stage [i] runs on process [i mod
+          processes] of the container *)
+  processes_per_container : int;
+  client_rtt_ns : float;
+  timeslice_ns : float;
+  container_switch_ns : runnable:int -> float;
+  process_switch_ns : float;
+  duration_ns : float;
+  warmup_ns : float;
+  seed : int;
+}
+
+val default_config : mode -> containers:int -> config
+(** 16 cores, 5 connections/container, a 3-stage request (NGINX ->
+    worker -> NGINX), 1 ms slices, switch costs from {!Xc_cpu.Costs}. *)
+
+type result = {
+  throughput_rps : float;
+  mean_latency_ns : float;
+  p99_latency_ns : float;
+  container_switches : int;
+  process_switches : int;
+  switch_overhead_ns : float;  (** total core time burnt on switching *)
+  busy_fraction : float;
+}
+
+val run : config -> result

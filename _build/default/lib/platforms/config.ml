@@ -1,0 +1,80 @@
+type runtime =
+  | Docker
+  | Gvisor
+  | Clear_container
+  | Xen_container
+  | X_container
+  | Xen_hvm
+  | Xen_pv
+  | Unikernel
+  | Graphene
+
+type cloud = Amazon_ec2 | Google_gce | Local_cluster
+
+type t = { runtime : runtime; cloud : cloud; meltdown_patched : bool }
+
+let make ?(cloud = Amazon_ec2) ?(meltdown_patched = true) runtime =
+  { runtime; cloud; meltdown_patched }
+
+let runtime_name = function
+  | Docker -> "Docker"
+  | Gvisor -> "gVisor"
+  | Clear_container -> "Clear-Container"
+  | Xen_container -> "Xen-Container"
+  | X_container -> "X-Container"
+  | Xen_hvm -> "Xen-HVM"
+  | Xen_pv -> "Xen-PV"
+  | Unikernel -> "Unikernel"
+  | Graphene -> "Graphene"
+
+let name t =
+  runtime_name t.runtime ^ if t.meltdown_patched then "" else "-unpatched"
+
+let all_cloud_runtimes = [ Docker; Xen_container; X_container; Gvisor; Clear_container ]
+
+let ten_configurations cloud =
+  List.concat_map
+    (fun runtime ->
+      [
+        make ~cloud ~meltdown_patched:true runtime;
+        make ~cloud ~meltdown_patched:false runtime;
+      ])
+    all_cloud_runtimes
+
+type feature =
+  | Binary_compat
+  | Multiprocess
+  | Multicore
+  | Kernel_modules
+  | No_hw_virt
+
+let supports runtime feature =
+  match (runtime, feature) with
+  | (Docker | Xen_container | X_container | Xen_hvm | Xen_pv), Binary_compat -> true
+  | Clear_container, Binary_compat -> true
+  | Gvisor, Binary_compat -> false (* limited syscall compatibility *)
+  | Unikernel, Binary_compat -> false
+  | Graphene, Binary_compat -> false (* one third of Linux syscalls *)
+  | Unikernel, (Multiprocess | Multicore) -> false
+  | Gvisor, Multiprocess -> true
+  | Gvisor, Multicore -> false (* one process at a time (Section 2.3) *)
+  | Graphene, (Multiprocess | Multicore) -> true
+  | (Docker | Clear_container | Xen_container | X_container | Xen_hvm | Xen_pv),
+    (Multiprocess | Multicore) ->
+      true
+  | X_container, Kernel_modules -> true
+  | (Xen_hvm | Xen_pv | Xen_container | Clear_container), Kernel_modules ->
+      true (* own guest kernel, though not integrated with Docker tooling *)
+  | (Docker | Gvisor | Unikernel | Graphene), Kernel_modules -> false
+  | (Docker | Gvisor | Xen_container | X_container | Xen_pv | Graphene), No_hw_virt
+    ->
+      true
+  | (Clear_container | Xen_hvm), No_hw_virt -> false
+  | Unikernel, No_hw_virt -> true (* rumprun runs on Xen PV *)
+
+let feature_name = function
+  | Binary_compat -> "binary compatibility"
+  | Multiprocess -> "multi-process"
+  | Multicore -> "multicore processing"
+  | Kernel_modules -> "kernel modules"
+  | No_hw_virt -> "no HW virtualization needed"

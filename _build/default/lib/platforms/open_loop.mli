@@ -1,0 +1,34 @@
+(** Open-loop benchmark driver (Poisson arrivals).
+
+    Closed-loop clients (wrk/ab) hide queueing: they slow down when the
+    server does.  Serverless front-ends face open arrivals, where latency
+    explodes as load approaches capacity.  This driver offers requests at
+    a fixed rate regardless of completions, producing the
+    latency-versus-load curves used by the latency ablation bench. *)
+
+type config = {
+  arrival_rate_rps : float;
+  duration_ns : float;
+  warmup_ns : float;
+  seed : int;
+}
+
+val config :
+  ?duration_ns:float -> ?warmup_ns:float -> ?seed:int -> rate_rps:float -> unit ->
+  config
+
+type result = {
+  offered_rps : float;
+  completed_rps : float;
+  mean_latency_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  max_queue : int;  (** high-water mark of queued requests *)
+}
+
+val run : config -> Closed_loop.server -> result
+(** Requests arrive as a Poisson process; each takes
+    [service_ns + overhead_ns] on the least-loaded unit, FIFO. *)
+
+val utilization : result -> service_ns:float -> units:int -> float
+(** Offered load as a fraction of capacity. *)

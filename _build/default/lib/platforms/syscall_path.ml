@@ -1,0 +1,71 @@
+module Costs = Xc_cpu.Costs
+
+let kpti_ns = (2. *. Costs.kpti_transition_ns) +. Costs.kpti_tlb_side_ns
+
+let entry_ns (c : Config.t) =
+  match c.runtime with
+  | Docker | Xen_hvm | Xen_pv ->
+      (* Native syscall into the host (or VM guest) kernel, plus Docker's
+         seccomp/audit filters; KPTI when patched. *)
+      Costs.syscall_trap_ns +. Costs.seccomp_audit_ns
+      +. (if c.meltdown_patched then kpti_ns else 0.)
+  | Gvisor ->
+      (* ptrace interception: several host context switches per syscall;
+         the host's KPTI applies to each interception when patched. *)
+      Costs.gvisor_syscall_ns +. (if c.meltdown_patched then kpti_ns else 0.)
+  | Clear_container ->
+      (* Syscalls stay inside the nested VM; the minimal guest kernel is
+         never patched (Section 5.1). *)
+      Costs.clear_guest_syscall_ns
+  | Xen_container ->
+      (* x86-64 PV: forwarded through Xen with an address-space switch
+         and TLB flush each way; XPTI when patched. *)
+      Costs.xen_pv_syscall_ns
+      +. (if c.meltdown_patched then Costs.xen_xpti_extra_ns else 0.)
+  | X_container ->
+      (* ABOM-patched site: a function call through the vsyscall entry
+         table.  The Meltdown patch lives in the X-Kernel and is never on
+         this path (Section 5.4). *)
+      Costs.xc_fast_syscall_ns
+  | Unikernel -> Costs.function_call_ns +. 10.
+  | Graphene ->
+      (* A Graphene "syscall" crosses the libOS, the PAL and usually a
+         real host syscall with its seccomp filter — measured in the
+         microseconds for I/O paths. *)
+      3_400.
+
+let unpatched_site_ns (c : Config.t) =
+  match c.runtime with
+  | Config.X_container -> Costs.xc_forwarded_syscall_ns
+  | _ -> entry_ns c
+
+let effective_entry_ns (c : Config.t) ~abom_coverage =
+  match c.runtime with
+  | Config.X_container ->
+      let f = Float.max 0. (Float.min 1. abom_coverage) in
+      (f *. Costs.xc_fast_syscall_ns)
+      +. ((1. -. f) *. Costs.xc_forwarded_syscall_ns)
+  | _ -> entry_ns c
+
+let interrupt_ns (c : Config.t) =
+  match c.runtime with
+  | Docker | Gvisor | Xen_hvm ->
+      Costs.interrupt_delivery_ns
+      +. if c.meltdown_patched then 2. *. Costs.kpti_transition_ns else 0.
+  | Clear_container -> Costs.interrupt_delivery_ns +. Costs.nested_vmexit_ns
+  | Xen_container | Xen_pv | Unikernel ->
+      Costs.xen_event_channel_ns +. Costs.iret_hypercall_ns
+  | X_container -> Costs.xc_event_direct_ns +. Costs.xc_iret_ns
+  | Graphene ->
+      Costs.interrupt_delivery_ns
+      +. if c.meltdown_patched then 2. *. Costs.kpti_transition_ns else 0.
+
+let graphene_ipc_fraction_multiproc = 0.12
+
+let graphene_ipc_cost_ns = 3_000.
+
+let graphene_entry_ns ~multiprocess =
+  let base = 3_400. in
+  if multiprocess then
+    base +. (graphene_ipc_fraction_multiproc *. graphene_ipc_cost_ns)
+  else base

@@ -1,0 +1,35 @@
+type t = { mutable clock : Time_ns.t; queue : (t -> unit) Heap.t }
+
+let create () = { clock = Time_ns.zero; queue = Heap.create () }
+let now t = t.clock
+
+let schedule t at f =
+  if Time_ns.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule: event in the past";
+  Heap.push t.queue at f
+
+let schedule_after t delay f = schedule t (Time_ns.add t.clock delay) f
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      f t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some (at, _) when Time_ns.compare at stop <= 0 -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- Time_ns.max t.clock stop;
+            continue := false
+      done
+
+let run_for t d = run ~until:(Time_ns.add t.clock d) t

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    A classic event-list simulator: callbacks scheduled at absolute
+    simulated times, executed in timestamp order (insertion order among
+    ties, so runs are deterministic).  The throughput experiments (Figures
+    3, 6, 8, 9) run client/server loops on top of this engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+(** Current simulated time. *)
+
+val schedule : t -> Time_ns.t -> (t -> unit) -> unit
+(** [schedule t at f] runs [f] when the clock reaches [at].  Scheduling in
+    the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time_ns.t -> (t -> unit) -> unit
+(** [schedule_after t delay f] = [schedule t (now t + delay) f]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val step : t -> bool
+(** Execute the next event; [false] if the queue was empty. *)
+
+val run : ?until:Time_ns.t -> t -> unit
+(** Run until the queue drains or the clock would pass [until].  With
+    [until], the clock is left at exactly [until] if reached. *)
+
+val run_for : t -> Time_ns.t -> unit
+(** [run_for t d] = [run ~until:(now t + d) t]. *)

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [float] priorities.
+
+    The event queue of the discrete-event engine is the hottest data
+    structure in the simulator, so this is a plain array-based binary heap
+    specialised to float keys (no comparator closure on the hot path).
+    Ties are broken by insertion order so the simulation is deterministic
+    even when many events share a timestamp. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element (FIFO among equal keys). *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive: all elements in pop order (for tests). *)

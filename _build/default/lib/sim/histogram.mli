@@ -1,0 +1,26 @@
+(** Log-bucketed latency histogram (HDR-style).
+
+    Values are bucketed with a fixed relative precision: each power of two
+    is divided into a constant number of sub-buckets, so percentile queries
+    are accurate to a few percent over twelve orders of magnitude — enough
+    to report the latency distributions behind Figure 3(b). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one (non-negative) sample. *)
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; returns a representative value
+    of the bucket containing that rank.  [0.] when empty. *)
+
+val median : t -> float
+val mean : t -> float
+val merge : t -> t -> t
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line p50/p90/p99 summary. *)

@@ -1,0 +1,26 @@
+type t = (string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add t name r;
+      r
+
+let add t name v = cell t name := !(cell t name) +. v
+let incr t name = add t name 1.
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0.
+let reset t = Hashtbl.reset t
+
+let to_alist t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
+    (fun fmt (k, v) -> Format.fprintf fmt "%-40s %12.0f" k v)
+    fmt (to_alist t)

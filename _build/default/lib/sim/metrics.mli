@@ -1,0 +1,21 @@
+(** Named counters.
+
+    Each simulated component (CPU core, TLB, hypervisor, ABOM) accumulates
+    event counts into a registry; the benchmark harness reads them back to
+    explain *why* a configuration is fast or slow (e.g. "syscalls forwarded"
+    vs "syscalls as function calls" for Table 1). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> float -> unit
+val get : t -> string -> float
+(** [0.] for a counter never touched. *)
+
+val reset : t -> unit
+val to_alist : t -> (string * float) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

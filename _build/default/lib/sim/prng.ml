@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free: fold the positive bits modulo [bound]; the bias is
+     below 2^-50 for any bound the simulator uses.  Mask to OCaml's
+     62 positive bits (Int64.to_int keeps 63, which can go negative). *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t 1.0) in
+  -.mean *. Float.log u
+
+let pareto t ~shape ~scale =
+  let u = Float.max 1e-12 (float t 1.0) in
+  scale /. Float.pow u (1.0 /. shape)
+
+let normal t ~mean ~stddev =
+  let u1 = Float.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  let z = Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,26 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Used throughout the benchmark harness to aggregate per-request
+    latencies, per-run throughputs, and cross-run averages (the paper
+    reports the mean and standard deviation of five runs per experiment). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); [0.] for n < 2. *)
+
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if all samples were added to one. *)
+
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Aligned text tables.
+
+    The benchmark harness prints each reproduced paper table/figure as an
+    aligned text table (and optionally CSV); this is the tiny renderer
+    behind all of them. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Row length must match the number of columns. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+val to_csv : t -> string
+
+(** Cell formatting helpers. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_ratio : float -> string
+(** e.g. [2.13x]. *)
+
+val fmt_pct : float -> string
+(** e.g. [92.3%] (argument is the percentage value, not a fraction). *)
+
+val fmt_si : float -> string
+(** 12K / 3.4M style, for request rates. *)

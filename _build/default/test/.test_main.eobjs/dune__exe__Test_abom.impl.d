@@ -1,0 +1,1 @@
+test/test_abom.ml: Alcotest Builder Entry_table Image Insn List Machine Offline_tool Patcher QCheck QCheck_alcotest Xc_abom Xc_isa

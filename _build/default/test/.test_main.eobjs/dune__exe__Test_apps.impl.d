@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Float Lb_experiment List Memcached Mysql Nginx Profiles Recipe Redis Scalability Serverless Unixbench Xc_apps Xc_net Xc_os Xc_platforms Xc_sim

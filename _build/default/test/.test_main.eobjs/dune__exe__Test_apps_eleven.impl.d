@@ -1,0 +1,1 @@
+test/test_apps_eleven.ml: Alcotest Elasticsearch Etcd Fluentd Influxdb Kernel_build List Memcached Mongodb Mysql Nginx Postgres Printf Rabbitmq Recipe Redis Xc_apps Xc_platforms

@@ -1,0 +1,1 @@
+test/test_apps_extra.ml: Alcotest Etcd List Memcached Mongodb Postgres Rabbitmq Recipe Xc_apps Xc_platforms Xcontainers

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Bytes Printf Xc_net Xc_os Xc_sim

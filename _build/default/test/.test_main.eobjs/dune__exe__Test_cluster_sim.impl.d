@@ -1,0 +1,1 @@
+test/test_cluster_sim.ml: Alcotest Float List Printf Xc_apps Xc_platforms

@@ -1,0 +1,1 @@
+test/test_coldstart.ml: Alcotest Float Xc_apps Xcontainers

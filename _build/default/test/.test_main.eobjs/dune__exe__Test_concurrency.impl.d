@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Builder List Machine QCheck QCheck_alcotest Xc_abom Xc_isa Xc_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Boot Docker_wrapper Experiment Figures List Spec String Xc_abom Xc_hypervisor Xc_isa Xc_os Xc_platforms Xc_sim Xcontainer Xcontainers

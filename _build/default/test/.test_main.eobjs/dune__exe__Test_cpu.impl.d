@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Core Costs Mode Smp String Xc_cpu

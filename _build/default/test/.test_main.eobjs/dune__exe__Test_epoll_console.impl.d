@@ -1,0 +1,1 @@
+test/test_epoll_console.ml: Alcotest Bytes Epoll List Socket Xc_hypervisor Xc_os

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Float List Xc_apps Xc_hypervisor Xc_platforms Xcontainers

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Builder Bytes Codec Gen Image Insn Int List Machine Map Printf QCheck QCheck_alcotest String Xc_abom Xc_isa Xc_mem Xelf

@@ -1,0 +1,1 @@
+test/test_httpd.ml: Alcotest Bytes Xc_apps Xc_hypervisor Xc_os

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Credit_scheduler Domain Event_channel Hypercall List Pv_mmu Split_driver Vcpu Xc_hypervisor Xc_mem Xkernel

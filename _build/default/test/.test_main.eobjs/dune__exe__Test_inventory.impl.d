@@ -1,0 +1,1 @@
+test/test_inventory.ml: Alcotest List Printf Xc_apps Xc_platforms Xcontainers

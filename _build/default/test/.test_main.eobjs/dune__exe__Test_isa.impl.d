@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Builder Bytes Codec Image Insn Int64 List Machine Option Printf QCheck QCheck_alcotest String Xc_isa

@@ -1,0 +1,1 @@
+test/test_isa_loops.ml: Alcotest Builder Codec Image Insn List Machine Xc_abom Xc_isa

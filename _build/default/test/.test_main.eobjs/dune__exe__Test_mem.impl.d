@@ -1,0 +1,1 @@
+test/test_mem.ml: Address_space Alcotest Kpti Page_table Pte Tlb Xc_cpu Xc_mem

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Link List Load_balancer Netpath Tcp_model Xc_net

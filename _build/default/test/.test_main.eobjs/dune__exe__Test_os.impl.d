@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Bytes Cfs Kernel List Pipe Process Syscall_nr Vfs Xc_mem Xc_os

@@ -1,0 +1,1 @@
+test/test_os_net_state.ml: Alcotest Bytes Fd_table Pipe Socket Xc_hypervisor Xc_os

@@ -1,0 +1,1 @@
+test/test_platforms.ml: Alcotest Closed_loop Config List Platform Syscall_path Xc_net Xc_os Xc_platforms

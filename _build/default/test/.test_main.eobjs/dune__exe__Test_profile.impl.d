@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Builder Float Format List Machine String Xc_abom Xc_isa

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Float List Printf Xc_apps Xc_platforms Xcontainers

@@ -1,0 +1,1 @@
+test/test_signals.ml: Alcotest Image Insn List Machine Xc_abom Xc_isa

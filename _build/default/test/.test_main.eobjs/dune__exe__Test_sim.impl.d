@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Gen Heap Histogram List Metrics Option Prng QCheck QCheck_alcotest Stats String Table Time_ns Xc_sim

@@ -1,0 +1,1 @@
+test/test_substrate_extra.ml: Alcotest Float Printf Xc_apps Xc_hypervisor Xc_os Xc_platforms Xcontainers

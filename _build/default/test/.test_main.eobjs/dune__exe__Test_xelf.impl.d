@@ -1,0 +1,1 @@
+test/test_xelf.ml: Alcotest Builder Bytes Filename Image List Machine QCheck QCheck_alcotest Sys Xc_abom Xc_isa Xelf

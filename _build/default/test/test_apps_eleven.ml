@@ -1,0 +1,100 @@
+(* Tests for the final three Table 1 application models and the
+   eleven-application sweep invariants. *)
+
+open Xc_apps
+module Config = Xc_platforms.Config
+module Platform = Xc_platforms.Platform
+
+let xc = Platform.create (Config.make Config.X_container)
+let docker = Platform.create (Config.make Config.Docker)
+
+let test_coverages_match_table1 () =
+  Alcotest.(check (float 1e-9)) "fluentd" 0.994 Fluentd.abom_coverage;
+  Alcotest.(check (float 1e-9)) "elasticsearch" 0.988 Elasticsearch.abom_coverage;
+  Alcotest.(check (float 1e-9)) "influxdb" 1.0 Influxdb.abom_coverage;
+  Alcotest.(check (float 1e-9)) "kernel build" 0.953 Kernel_build.abom_coverage
+
+let test_fluentd_batching () =
+  let s r = Recipe.service_ns docker r in
+  Alcotest.(check bool) "bigger batches cost more" true
+    (s (Fluentd.ingest_batch ~events:500) > s (Fluentd.ingest_batch ~events:50));
+  (* But sub-linearly per event: batching amortises the syscalls. *)
+  let per_event n = s (Fluentd.ingest_batch ~events:n) /. float_of_int n in
+  Alcotest.(check bool) "amortisation" true (per_event 500 < per_event 10);
+  Alcotest.(check bool) "flush is write-heavy" true
+    (s Fluentd.flush_chunk > 50_000.)
+
+let test_elasticsearch_mix () =
+  let s r = Recipe.service_ns docker r in
+  Alcotest.(check bool) "index dearer than search" true
+    (s Elasticsearch.index_request > s Elasticsearch.search_request);
+  (* JVM-heavy: user work dominates, so the XC gain is small. *)
+  let rel = s Elasticsearch.mixed_request /. Recipe.service_ns xc Elasticsearch.mixed_request in
+  Alcotest.(check bool)
+    (Printf.sprintf "ES near par on XC (%.2f)" rel)
+    true (rel > 0.85 && rel < 1.15)
+
+let test_influxdb_write_path () =
+  let s r = Recipe.service_ns docker r in
+  Alcotest.(check bool) "write batch scales with points" true
+    (s (Influxdb.write_batch ~points:1000) > s (Influxdb.write_batch ~points:100));
+  Alcotest.(check bool) "query reads segments" true (s Influxdb.range_query > 150_000.)
+
+let test_eleven_apps_have_recipes_everywhere () =
+  let apps =
+    [
+      Nginx.static_request_wrk;
+      Memcached.mixed_request;
+      Redis.request;
+      Etcd.mixed_request;
+      Mongodb.ycsb_a;
+      Postgres.transaction;
+      Rabbitmq.publish_transient;
+      Mysql.mixed_query ~offline_patched:false;
+      Fluentd.steady_state;
+      Elasticsearch.mixed_request;
+      Influxdb.mixed_request;
+    ]
+  in
+  Alcotest.(check int) "eleven recipes" 11 (List.length apps);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Recipe.name ^ " coverage sane") true
+        (r.Recipe.abom_coverage > 0.4 && r.Recipe.abom_coverage <= 1.0);
+      Alcotest.(check bool) (r.Recipe.name ^ " positive on XC") true
+        (Recipe.service_ns xc r > 0.))
+    apps
+
+let test_no_app_collapses_on_xc () =
+  (* The paper's claim "competitive to or even outperform native
+     containers for other benchmarks": no modelled app may lose more
+     than ~15% on X-Containers. *)
+  List.iter
+    (fun (name, r) ->
+      let rel = Recipe.service_ns docker r /. Recipe.service_ns xc r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s at %.2fx of Docker" name rel)
+        true (rel > 0.85))
+    [
+      ("fluentd", Fluentd.steady_state);
+      ("elasticsearch", Elasticsearch.mixed_request);
+      ("influxdb", Influxdb.mixed_request);
+      ("etcd", Etcd.mixed_request);
+      ("mongodb", Mongodb.ycsb_a);
+      ("postgres", Postgres.transaction);
+    ]
+
+let suites =
+  [
+    ( "apps.eleven",
+      [
+        Alcotest.test_case "coverages" `Quick test_coverages_match_table1;
+        Alcotest.test_case "fluentd batching" `Quick test_fluentd_batching;
+        Alcotest.test_case "elasticsearch mix" `Quick test_elasticsearch_mix;
+        Alcotest.test_case "influxdb write path" `Quick test_influxdb_write_path;
+        Alcotest.test_case "recipes everywhere" `Quick
+          test_eleven_apps_have_recipes_everywhere;
+        Alcotest.test_case "no app collapses on XC" `Quick
+          test_no_app_collapses_on_xc;
+      ] );
+  ]

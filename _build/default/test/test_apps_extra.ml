@@ -1,0 +1,91 @@
+(* Tests for the extended application models (etcd, MongoDB, Postgres,
+   RabbitMQ) and the cross-application sweep invariants. *)
+
+open Xc_apps
+module Config = Xc_platforms.Config
+module Platform = Xc_platforms.Platform
+
+let xc = Platform.create (Config.make Config.X_container)
+let docker = Platform.create (Config.make Config.Docker)
+
+let test_coverages () =
+  Alcotest.(check (float 1e-9)) "etcd" 1.0 Etcd.abom_coverage;
+  Alcotest.(check (float 1e-9)) "mongo" 1.0 Mongodb.abom_coverage;
+  Alcotest.(check (float 1e-9)) "postgres" 0.998 Postgres.abom_coverage;
+  Alcotest.(check (float 1e-9)) "rabbitmq" 0.986 Rabbitmq.abom_coverage
+
+let test_write_paths_cost_more () =
+  let s r = Recipe.service_ns docker r in
+  Alcotest.(check bool) "etcd put > get" true (s (Etcd.put_request ()) > s Etcd.get_request);
+  Alcotest.(check bool) "etcd replication costs" true
+    (s (Etcd.put_request ~peers:2 ()) > s (Etcd.put_request ()));
+  Alcotest.(check bool) "mongo update > read" true
+    (s Mongodb.update_request > s Mongodb.read_request);
+  Alcotest.(check bool) "rabbit persistent > transient" true
+    (s Rabbitmq.publish_persistent > s Rabbitmq.publish_transient)
+
+let test_postgres_connection_setup () =
+  (* Process-per-connection: setup pays the platform's fork, so it is
+     dearer on X-Containers (PV page tables) than on Docker. *)
+  Alcotest.(check bool) "xc setup dearer" true
+    (Postgres.connection_setup_ns xc > Postgres.connection_setup_ns docker);
+  Alcotest.(check bool) "setup dominated by fork" true
+    (Postgres.connection_setup_ns docker > Platform.fork_ns docker)
+
+let test_sweep_ordering () =
+  (* The Table 1 / Figure 3 story: XC's relative gain orders by syscall
+     density.  memcached (syscall-dense) must gain more than Postgres
+     (user-work-dense). *)
+  let rel recipe =
+    Recipe.service_ns docker recipe /. Recipe.service_ns xc recipe
+  in
+  Alcotest.(check bool) "memcached gains most" true
+    (rel Memcached.mixed_request > rel Postgres.transaction);
+  Alcotest.(check bool) "memcached gains more than mongo" true
+    (rel Memcached.mixed_request > rel Mongodb.ycsb_a)
+
+let test_all_apps_positive_everywhere () =
+  let apps =
+    [
+      Etcd.mixed_request;
+      Mongodb.ycsb_a;
+      Postgres.transaction;
+      Rabbitmq.publish_transient;
+    ]
+  in
+  List.iter
+    (fun runtime ->
+      let p = Platform.create (Config.make runtime) in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Recipe.name ^ " on " ^ Config.runtime_name runtime)
+            true
+            (Recipe.service_ns p r > 0.))
+        apps)
+    [ Config.Docker; Config.Gvisor; Config.X_container; Config.Unikernel ]
+
+let test_public_server_builder () =
+  let config = Config.make Config.Gvisor in
+  let p = Platform.create config in
+  List.iter
+    (fun app ->
+      let s = Xcontainers.Figures.server_for_public config p app in
+      (* gVisor cannot run processes concurrently: clamped to one unit. *)
+      Alcotest.(check int) "gvisor single unit" 1 s.Xc_platforms.Closed_loop.units)
+    [ `Nginx; `Memcached; `Etcd; `Postgres ]
+
+let suites =
+  [
+    ( "apps.extra",
+      [
+        Alcotest.test_case "coverages" `Quick test_coverages;
+        Alcotest.test_case "write paths cost more" `Quick test_write_paths_cost_more;
+        Alcotest.test_case "postgres connection setup" `Quick
+          test_postgres_connection_setup;
+        Alcotest.test_case "sweep ordering" `Quick test_sweep_ordering;
+        Alcotest.test_case "positive everywhere" `Quick
+          test_all_apps_positive_everywhere;
+        Alcotest.test_case "public server builder" `Quick test_public_server_builder;
+      ] );
+  ]

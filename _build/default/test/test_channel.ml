@@ -1,0 +1,103 @@
+(* Tests for the cross-kernel channel and a two-kernel PHP-to-MySQL
+   exchange with live timing. *)
+
+module Engine = Xc_sim.Engine
+module Channel = Xc_net.Channel
+module Socket = Xc_os.Socket
+
+let xc_hops : Xc_net.Netpath.hop list = [ Native_stack; Split_driver ]
+
+let make_channel engine =
+  let mk () = { Channel.socket = Socket.create (); hops = xc_hops } in
+  Channel.connect ~engine ~link:Xc_net.Link.ten_gbe ~a:(mk ()) ~b:(mk ())
+
+let test_delivery_is_timed () =
+  let engine = Engine.create () in
+  let ch = make_channel engine in
+  (match Channel.send ch ~from:`A (Bytes.of_string "SELECT 1") with
+  | Ok cost -> Alcotest.(check bool) "sender cost positive" true (cost > 0.)
+  | Error e -> Alcotest.fail e);
+  (* Nothing arrives until the engine advances past the path delay. *)
+  (match Channel.receive ch ~side:`B ~max_len:64 with
+  | Ok b -> Alcotest.(check int) "not yet delivered" 0 (Bytes.length b)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "in flight" 1 (Channel.in_flight ch);
+  Engine.run engine;
+  (match Channel.receive ch ~side:`B ~max_len:64 with
+  | Ok b -> Alcotest.(check string) "delivered" "SELECT 1" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "drained" 0 (Channel.in_flight ch);
+  (* Delivery took at least the wire latency. *)
+  Alcotest.(check bool) "time advanced past latency" true
+    (Engine.now engine >= Xc_net.Link.latency_ns Xc_net.Link.ten_gbe)
+
+let test_bidirectional_ordering () =
+  let engine = Engine.create () in
+  let ch = make_channel engine in
+  ignore (Channel.send ch ~from:`A (Bytes.of_string "one"));
+  ignore (Channel.send ch ~from:`A (Bytes.of_string "two"));
+  ignore (Channel.send ch ~from:`B (Bytes.of_string "ack"));
+  Engine.run engine;
+  (match Channel.receive ch ~side:`B ~max_len:64 with
+  | Ok b -> Alcotest.(check string) "FIFO per direction" "onetwo" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  (match Channel.receive ch ~side:`A ~max_len:64 with
+  | Ok b -> Alcotest.(check string) "reverse direction" "ack" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "byte accounting" 9 (Channel.delivered_bytes ch)
+
+let test_closed_socket_rejected () =
+  let engine = Engine.create () in
+  let ch = make_channel engine in
+  (* Shut the A-side socket down: sends from A must fail. *)
+  let a_sock = Socket.create () in
+  let ch2 =
+    Channel.connect ~engine ~link:Xc_net.Link.ten_gbe
+      ~a:{ Channel.socket = a_sock; hops = xc_hops }
+      ~b:{ Channel.socket = Socket.create (); hops = xc_hops }
+  in
+  Socket.close a_sock;
+  (match Channel.send ch2 ~from:`A (Bytes.of_string "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "send on closed socket must fail");
+  ignore ch
+
+(* Integration: a PHP front-end queries a MySQL back-end across two
+   X-Container kernels; the round trip's simulated time must match the
+   priced path within rounding. *)
+let test_php_mysql_roundtrip () =
+  let engine = Engine.create () in
+  let ch = make_channel engine in
+  let query = Bytes.of_string "SELECT balance FROM accounts WHERE id=42" in
+  let started = Engine.now engine in
+  (match Channel.send ch ~from:`A query with Ok _ -> () | Error e -> Alcotest.fail e);
+  Engine.run engine;
+  (* MySQL side receives, "executes", replies. *)
+  (match Channel.receive ch ~side:`B ~max_len:4096 with
+  | Ok b -> Alcotest.(check int) "query intact" (Bytes.length query) (Bytes.length b)
+  | Error e -> Alcotest.fail e);
+  (match Channel.send ch ~from:`B (Bytes.of_string "balance=127.35") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Engine.run engine;
+  (match Channel.receive ch ~side:`A ~max_len:4096 with
+  | Ok b -> Alcotest.(check string) "result row" "balance=127.35" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  let elapsed = Engine.now engine -. started in
+  (* Two one-way trips over 10GbE with the split-driver stacks: each is
+     latency (10us) + two stack traversals (~4us each side). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip in the tens of us (got %.1fus)" (elapsed /. 1e3))
+    true
+    (elapsed > 20_000. && elapsed < 80_000.)
+
+let suites =
+  [
+    ( "net.channel",
+      [
+        Alcotest.test_case "timed delivery" `Quick test_delivery_is_timed;
+        Alcotest.test_case "bidirectional ordering" `Quick test_bidirectional_ordering;
+        Alcotest.test_case "closed socket" `Quick test_closed_socket_rejected;
+        Alcotest.test_case "php<->mysql roundtrip" `Quick test_php_mysql_roundtrip;
+      ] );
+  ]

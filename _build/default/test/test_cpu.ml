@@ -1,0 +1,78 @@
+(* Tests for the CPU cost model and core accounting. *)
+
+open Xc_cpu
+
+let test_costs_validate () =
+  match Costs.validate () with
+  | Ok () -> ()
+  | Error violations ->
+      Alcotest.failf "cost model violations: %s" (String.concat "; " violations)
+
+let test_cost_orderings () =
+  (* The orderings every reproduced figure relies on. *)
+  Alcotest.(check bool) "function call cheapest" true
+    (Costs.function_call_ns < Costs.xc_fast_syscall_ns);
+  Alcotest.(check bool) "xc fast < clear guest" true
+    (Costs.xc_fast_syscall_ns < Costs.clear_guest_syscall_ns);
+  Alcotest.(check bool) "trap < xen pv forward" true
+    (Costs.syscall_trap_ns < Costs.xen_pv_syscall_ns);
+  Alcotest.(check bool) "xen pv < gvisor ptrace" true
+    (Costs.xen_pv_syscall_ns < Costs.gvisor_syscall_ns);
+  Alcotest.(check bool) "xc event < xen event" true
+    (Costs.xc_event_direct_ns < Costs.xen_event_channel_ns);
+  Alcotest.(check bool) "xc iret < iret hypercall" true
+    (Costs.xc_iret_ns < Costs.iret_hypercall_ns);
+  Alcotest.(check bool) "nested exit > first-level exit" true
+    (Costs.nested_vmexit_ns > Costs.vmexit_ns)
+
+let test_headline_ratio () =
+  let docker =
+    Costs.syscall_trap_ns +. Costs.seccomp_audit_ns
+    +. (2. *. Costs.kpti_transition_ns)
+    +. Costs.kpti_tlb_side_ns +. Costs.cheap_syscall_work_ns
+  in
+  let xc = Costs.xc_fast_syscall_ns +. Costs.cheap_syscall_work_ns in
+  let r = docker /. xc in
+  Alcotest.(check bool) "headline ~27x" true (r > 20. && r < 32.)
+
+let test_core_accounting () =
+  let c = Core.create ~id:0 in
+  Core.charge c ~label:"syscall" 100.;
+  Core.charge c ~label:"syscall" 50.;
+  Core.charge c 25.;
+  Alcotest.(check (float 1e-9)) "busy" 175. (Core.busy_ns c);
+  Alcotest.(check (float 1e-9)) "labelled count" 2. (Core.count c "syscall");
+  Alcotest.(check (float 1e-9)) "utilization" 0.175 (Core.utilization c ~wall_ns:1000.);
+  Core.reset c;
+  Alcotest.(check (float 1e-9)) "reset" 0. (Core.busy_ns c)
+
+let test_smp () =
+  let s = Smp.create ~cores:4 in
+  Alcotest.(check int) "cores" 4 (Smp.cores s);
+  Core.charge (Smp.core s 0) 100.;
+  Core.charge (Smp.core s 1) 10.;
+  Alcotest.(check (float 1e-9)) "total busy" 110. (Smp.total_busy_ns s);
+  Alcotest.(check int) "least busy picks idle" 2 (Core.id (Smp.least_busy s));
+  Alcotest.check_raises "zero cores" (Invalid_argument "Smp.create: need at least one core")
+    (fun () -> ignore (Smp.create ~cores:0))
+
+let test_mode_names () =
+  Alcotest.(check string) "hypervisor" "hypervisor" (Mode.to_string Mode.Hypervisor);
+  Alcotest.(check bool) "equal" true (Mode.equal Mode.Guest_user Mode.Guest_user);
+  Alcotest.(check bool) "not equal" false (Mode.equal Mode.Guest_user Mode.Guest_kernel)
+
+let suites =
+  [
+    ( "cpu.costs",
+      [
+        Alcotest.test_case "validate" `Quick test_costs_validate;
+        Alcotest.test_case "orderings" `Quick test_cost_orderings;
+        Alcotest.test_case "headline 27x" `Quick test_headline_ratio;
+      ] );
+    ( "cpu.core",
+      [
+        Alcotest.test_case "accounting" `Quick test_core_accounting;
+        Alcotest.test_case "smp" `Quick test_smp;
+        Alcotest.test_case "modes" `Quick test_mode_names;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+(* Tests for the epoll readiness model and the PV console ring. *)
+
+open Xc_os
+
+let connected_pair port =
+  let srv = Socket.create () in
+  (match Socket.bind srv ~port with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Socket.listen srv ~backlog:4 with Ok () -> () | Error e -> Alcotest.fail e);
+  let client = Socket.create () in
+  (match Socket.connect client ~to_port:port ~namespace:[ srv ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let server_side = match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e in
+  (srv, client, server_side)
+
+let test_epoll_level_triggered () =
+  let _, client, server_side = connected_pair 90 in
+  let ep = Epoll.create () in
+  (match Epoll.ctl_add ep ~fd:4 server_side Epoll.level_in with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "idle: nothing ready" 0 (List.length (Epoll.wait ep));
+  ignore (Socket.send client (Bytes.of_string "hi"));
+  (match Epoll.wait ep with
+  | [ ev ] ->
+      Alcotest.(check int) "fd" 4 ev.Epoll.fd;
+      Alcotest.(check bool) "readable" true ev.Epoll.readable
+  | other -> Alcotest.failf "expected one event, got %d" (List.length other));
+  (* Level-triggered: still ready until drained. *)
+  Alcotest.(check int) "still ready" 1 (List.length (Epoll.wait ep));
+  ignore (Socket.recv server_side ~max_len:10);
+  Alcotest.(check int) "drained: quiet" 0 (List.length (Epoll.wait ep))
+
+let test_epoll_edge_triggered () =
+  let _, client, server_side = connected_pair 91 in
+  let ep = Epoll.create () in
+  ignore (Epoll.ctl_add ep ~fd:7 server_side Epoll.edge_in);
+  ignore (Socket.send client (Bytes.of_string "x"));
+  Alcotest.(check int) "edge fires once" 1 (List.length (Epoll.wait ep));
+  Alcotest.(check int) "no re-fire without new data" 0 (List.length (Epoll.wait ep));
+  ignore (Socket.recv server_side ~max_len:10);
+  ignore (Epoll.wait ep) (* observe the falling edge *);
+  ignore (Socket.send client (Bytes.of_string "y"));
+  Alcotest.(check int) "fires on the next rise" 1 (List.length (Epoll.wait ep))
+
+let test_epoll_listener_and_eof () =
+  let srv = Socket.create () in
+  ignore (Socket.bind srv ~port:92);
+  ignore (Socket.listen srv ~backlog:4);
+  let ep = Epoll.create () in
+  ignore (Epoll.ctl_add ep ~fd:3 srv Epoll.level_in);
+  Alcotest.(check int) "no pending connection" 0 (List.length (Epoll.wait ep));
+  let client = Socket.create () in
+  ignore (Socket.connect client ~to_port:92 ~namespace:[ srv ]);
+  (* A pending connection makes the listener readable (accept ready). *)
+  Alcotest.(check int) "listener readable" 1 (List.length (Epoll.wait ep));
+  let server_side = match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e in
+  ignore (Epoll.ctl_add ep ~fd:9 server_side Epoll.level_in);
+  Socket.close client;
+  (* EOF is a readable condition. *)
+  let ready = Epoll.wait ep in
+  Alcotest.(check bool) "EOF readable" true
+    (List.exists (fun (e : Epoll.event) -> e.fd = 9 && e.readable) ready)
+
+let test_epoll_ctl () =
+  let ep = Epoll.create () in
+  let s = Socket.create () in
+  (match Epoll.ctl_add ep ~fd:1 s Epoll.level_in with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Epoll.ctl_add ep ~fd:1 s Epoll.level_in with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate add must fail");
+  (match Epoll.ctl_mod ep ~fd:1 Epoll.edge_in with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Epoll.ctl_del ep ~fd:1 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Epoll.ctl_del ep ~fd:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double del must fail");
+  Alcotest.(check int) "empty" 0 (Epoll.watched ep)
+
+(* ---------------- Console ---------------- *)
+
+let test_console_roundtrip () =
+  let c = Xc_hypervisor.Console.create ~domid:3 () in
+  Alcotest.(check int) "wrote all" 12 (Xc_hypervisor.Console.write c "booting....\n");
+  Alcotest.(check int) "buffered" 12 (Xc_hypervisor.Console.buffered c);
+  Alcotest.(check string) "read back" "booting....\n" (Xc_hypervisor.Console.read_all c);
+  Alcotest.(check int) "drained" 0 (Xc_hypervisor.Console.buffered c)
+
+let test_console_wraparound () =
+  let c = Xc_hypervisor.Console.create ~ring_size:8 ~domid:1 () in
+  ignore (Xc_hypervisor.Console.write c "abcdef");
+  Alcotest.(check string) "first" "abcdef" (Xc_hypervisor.Console.read_all c);
+  (* Indices are free-running: the next write wraps the ring. *)
+  ignore (Xc_hypervisor.Console.write c "ghijkl");
+  Alcotest.(check string) "wrapped" "ghijkl" (Xc_hypervisor.Console.read_all c)
+
+let test_console_drops_when_full () =
+  let c = Xc_hypervisor.Console.create ~ring_size:8 ~domid:1 () in
+  Alcotest.(check int) "only 8 fit" 8 (Xc_hypervisor.Console.write c "0123456789");
+  Alcotest.(check int) "2 dropped" 2 (Xc_hypervisor.Console.dropped c);
+  Alcotest.(check string) "kept prefix" "01234567" (Xc_hypervisor.Console.read_all c)
+
+let test_console_validation () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Console.create: ring size must be a power of two")
+    (fun () -> ignore (Xc_hypervisor.Console.create ~ring_size:100 ~domid:1 ()))
+
+let suites =
+  [
+    ( "os.epoll",
+      [
+        Alcotest.test_case "level triggered" `Quick test_epoll_level_triggered;
+        Alcotest.test_case "edge triggered" `Quick test_epoll_edge_triggered;
+        Alcotest.test_case "listener and EOF" `Quick test_epoll_listener_and_eof;
+        Alcotest.test_case "ctl" `Quick test_epoll_ctl;
+      ] );
+    ( "hypervisor.console",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_console_roundtrip;
+        Alcotest.test_case "wraparound" `Quick test_console_wraparound;
+        Alcotest.test_case "drops when full" `Quick test_console_drops_when_full;
+        Alcotest.test_case "validation" `Quick test_console_validation;
+      ] );
+  ]

@@ -1,0 +1,305 @@
+(* Tests for the exokernel layer: hypercalls, domains, event channels,
+   the PV MMU's validation rules, the credit scheduler, split drivers and
+   the X-Kernel ABI differences. *)
+
+open Xc_hypervisor
+
+(* ---------------- Hypercalls ---------------- *)
+
+let test_hypercall_surface () =
+  (* The Section 3.4 argument: a small, enumerable attack surface. *)
+  Alcotest.(check int) "surface" (List.length Hypercall.all) (Hypercall.surface_size ());
+  Alcotest.(check bool) "far below Linux's ~350 syscalls" true
+    (Hypercall.surface_size () < Xkernel.linux_host_syscall_surface / 10)
+
+let test_hypercall_counting () =
+  let t = Hypercall.create () in
+  let c1 = Hypercall.invoke t Hypercall.Sched_op in
+  let _ = Hypercall.invoke t Hypercall.Sched_op in
+  let _ = Hypercall.invoke t Hypercall.Mmu_update in
+  Alcotest.(check bool) "cost positive" true (c1 > 0.);
+  Alcotest.(check int) "sched_op twice" 2 (Hypercall.invocations t Hypercall.Sched_op);
+  Alcotest.(check int) "total" 3 (Hypercall.total_invocations t);
+  Alcotest.(check int) "uninvoked" 0 (Hypercall.invocations t Hypercall.Iret)
+
+let test_hypercall_costs () =
+  Alcotest.(check bool) "mmu_update dearer than sched_op" true
+    (Hypercall.cost_ns Hypercall.Mmu_update > Hypercall.cost_ns Hypercall.Sched_op);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Hypercall.name k) true (Hypercall.cost_ns k > 0.))
+    Hypercall.all
+
+(* ---------------- Domains and the X-Kernel ---------------- *)
+
+let test_domain_validation () =
+  Alcotest.check_raises "zero vcpus"
+    (Invalid_argument "Domain.create: need at least one vcpu") (fun () ->
+      ignore (Domain.create ~id:1 ~kind:Domain.Domu ~vcpus:0 ~memory_mb:128))
+
+let test_xkernel_memory_gate () =
+  let xk = Xkernel.create ~pcpus:4 ~memory_mb:2048 () in
+  (* Dom0 holds 1024MB; one 512MB guest fits, the second does not. *)
+  (match Xkernel.create_domain xk ~vcpus:1 ~memory_mb:512 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Xkernel.create_domain xk ~vcpus:1 ~memory_mb:1024 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must run out of memory");
+  Alcotest.(check int) "free accounted" 512 (Xkernel.free_memory_mb xk)
+
+let test_xkernel_destroy_returns_memory () =
+  let xk = Xkernel.create ~pcpus:4 ~memory_mb:4096 () in
+  let d =
+    match Xkernel.create_domain xk ~vcpus:2 ~memory_mb:1024 with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "vcpus attached" 2
+    (Credit_scheduler.vcpu_count (Xkernel.scheduler xk));
+  Xkernel.destroy_domain xk d;
+  Alcotest.(check int) "memory back" (4096 - 1024) (Xkernel.free_memory_mb xk);
+  Alcotest.(check int) "vcpus detached" 0
+    (Credit_scheduler.vcpu_count (Xkernel.scheduler xk));
+  Alcotest.(check bool) "domain shut down" true (Domain.state d = Domain.Shutdown)
+
+let test_xkernel_abi_differences () =
+  let xen = Xkernel.create ~abi:Xkernel.stock_xen_abi ~pcpus:4 ~memory_mb:4096 () in
+  let xk = Xkernel.create ~abi:Xkernel.xkernel_abi ~pcpus:4 ~memory_mb:4096 () in
+  Alcotest.(check bool) "forwarding cheaper on X-Kernel" true
+    (Xkernel.syscall_forward_cost_ns xk < Xkernel.syscall_forward_cost_ns xen);
+  Alcotest.(check bool) "iret cheaper on X-Kernel" true
+    (Xkernel.iret_cost_ns xk < Xkernel.iret_cost_ns xen);
+  Alcotest.(check bool) "event delivery direct" true
+    (Xkernel.event_delivery xk = Event_channel.Direct_user_mode);
+  Alcotest.(check bool) "stock delivery via hypervisor" true
+    (Xkernel.event_delivery xen = Event_channel.Via_hypervisor)
+
+let test_tcb_comparison () =
+  let xk = Xkernel.create ~pcpus:4 ~memory_mb:4096 () in
+  Alcotest.(check bool) "TCB 50x smaller than a Linux host" true
+    (Xkernel.tcb_kloc xk * 50 < Xkernel.linux_host_tcb_kloc)
+
+let test_dom0_protected () =
+  let xk = Xkernel.create ~pcpus:4 ~memory_mb:4096 () in
+  Alcotest.(check bool) "dom0 privileged" true (Domain.is_privileged (Xkernel.dom0 xk));
+  Alcotest.check_raises "cannot destroy dom0" (Invalid_argument "cannot destroy Dom0")
+    (fun () -> Xkernel.destroy_domain xk (Xkernel.dom0 xk))
+
+(* ---------------- Event channels ---------------- *)
+
+let test_event_channel_basic () =
+  let ec = Event_channel.create Event_channel.Via_hypervisor in
+  Event_channel.bind ec ~port:3;
+  Event_channel.bind ec ~port:1;
+  Alcotest.(check bool) "bound" true (Event_channel.is_bound ec ~port:3);
+  ignore (Event_channel.notify ec ~port:3);
+  ignore (Event_channel.notify ec ~port:1);
+  ignore (Event_channel.notify ec ~port:1);
+  (* Pending is a set, delivered in port order. *)
+  Alcotest.(check (list int)) "pending" [ 1; 3 ] (Event_channel.pending ec);
+  let seen = ref [] in
+  let _cost = Event_channel.deliver_pending ec (fun p -> seen := p :: !seen) in
+  Alcotest.(check (list int)) "delivered in order" [ 1; 3 ] (List.rev !seen);
+  Alcotest.(check int) "count" 2 (Event_channel.delivered_count ec);
+  Alcotest.(check (list int)) "cleared" [] (Event_channel.pending ec)
+
+let test_event_channel_unbound () =
+  let ec = Event_channel.create Event_channel.Via_hypervisor in
+  Alcotest.check_raises "unbound" (Invalid_argument "Event_channel.notify: unbound port")
+    (fun () -> ignore (Event_channel.notify ec ~port:9))
+
+let test_event_delivery_costs () =
+  (* Section 4.2: direct user-mode delivery must beat the upcall. *)
+  let deliver mode =
+    let ec = Event_channel.create mode in
+    Event_channel.bind ec ~port:1;
+    ignore (Event_channel.notify ec ~port:1);
+    Event_channel.deliver_pending ec (fun _ -> ())
+  in
+  Alcotest.(check bool) "direct cheaper" true
+    (deliver Event_channel.Direct_user_mode < deliver Event_channel.Via_hypervisor)
+
+(* ---------------- PV MMU ---------------- *)
+
+let make_mmu () =
+  Pv_mmu.create ~hypercalls:(Hypercall.create ())
+    ~hypervisor_frames:(fun pfn -> pfn < 256)
+    ~owned:(fun ~domain_id ~pfn -> pfn / 4096 = domain_id)
+    ~page_table_frame:(fun pfn -> pfn land 0xfff = 42)
+
+let test_pv_mmu_valid_batch () =
+  let mmu = make_mmu () in
+  let table = Xc_mem.Page_table.create () in
+  let entries =
+    List.init 8 (fun i -> (100 + i, Xc_mem.Pte.make ~pfn:(4096 + 512 + i) ()))
+  in
+  (match Pv_mmu.update mmu ~domain_id:1 ~table ~entries with
+  | Ok cost -> Alcotest.(check bool) "batch cost" true (cost > 0.)
+  | Error (e, _) -> Alcotest.fail (Pv_mmu.error_to_string e));
+  Alcotest.(check int) "applied" 8 (Xc_mem.Page_table.entry_count table);
+  Alcotest.(check int) "validated" 8 (Pv_mmu.validated_entries mmu)
+
+let test_pv_mmu_rejects_hypervisor_frame () =
+  let mmu = make_mmu () in
+  let table = Xc_mem.Page_table.create () in
+  match
+    Pv_mmu.update mmu ~domain_id:1 ~table
+      ~entries:[ (5, Xc_mem.Pte.make ~pfn:10 ()) ]
+  with
+  | Error (Pv_mmu.Maps_hypervisor_frame, 5) ->
+      Alcotest.(check int) "nothing applied" 0 (Xc_mem.Page_table.entry_count table)
+  | _ -> Alcotest.fail "expected Maps_hypervisor_frame"
+
+let test_pv_mmu_rejects_foreign_frame () =
+  let mmu = make_mmu () in
+  let table = Xc_mem.Page_table.create () in
+  match
+    Pv_mmu.update mmu ~domain_id:1 ~table
+      ~entries:[ (5, Xc_mem.Pte.make ~pfn:9000 ()) ]
+  with
+  | Error (Pv_mmu.Not_owned_frame, _) -> ()
+  | _ -> Alcotest.fail "expected Not_owned_frame"
+
+let test_pv_mmu_rejects_writable_page_table () =
+  let mmu = make_mmu () in
+  let table = Xc_mem.Page_table.create () in
+  let pt_frame = 4096 + 42 in
+  (match
+     Pv_mmu.update mmu ~domain_id:1 ~table
+       ~entries:[ (5, Xc_mem.Pte.make ~writable:true ~pfn:pt_frame ()) ]
+   with
+  | Error (Pv_mmu.Writable_page_table, _) -> ()
+  | _ -> Alcotest.fail "expected Writable_page_table");
+  (* Read-only mapping of the same frame is fine (how guests read their
+     own page tables). *)
+  match
+    Pv_mmu.update mmu ~domain_id:1 ~table
+      ~entries:[ (5, Xc_mem.Pte.make ~writable:false ~pfn:pt_frame ()) ]
+  with
+  | Ok _ -> ()
+  | Error (e, _) -> Alcotest.fail (Pv_mmu.error_to_string e)
+
+let test_pv_mmu_atomic_batch () =
+  (* A bad entry anywhere aborts the whole batch. *)
+  let mmu = make_mmu () in
+  let table = Xc_mem.Page_table.create () in
+  let entries =
+    [ (1, Xc_mem.Pte.make ~pfn:5000 ()); (2, Xc_mem.Pte.make ~pfn:10 ()) ]
+  in
+  (match Pv_mmu.update mmu ~domain_id:1 ~table ~entries with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection");
+  Alcotest.(check int) "atomic: nothing applied" 0 (Xc_mem.Page_table.entry_count table);
+  Alcotest.(check int) "rejection counted" 1 (Pv_mmu.rejected_batches mmu)
+
+let test_pv_mmu_batch_cost_scales () =
+  Alcotest.(check bool) "bigger batches cost more" true
+    (Pv_mmu.batch_cost_ns 100 > Pv_mmu.batch_cost_ns 1)
+
+(* ---------------- Credit scheduler ---------------- *)
+
+let test_credit_fairness () =
+  let s = Credit_scheduler.create ~pcpus:1 in
+  let v1 = Vcpu.create ~id:0 ~domain_id:1 in
+  let v2 = Vcpu.create ~id:0 ~domain_id:2 in
+  Credit_scheduler.attach s v1 ~weight:256;
+  Credit_scheduler.attach s v2 ~weight:256;
+  (* Simulate 200 slices of 1ms with periodic accounting. *)
+  for i = 1 to 200 do
+    if i mod 30 = 0 then Credit_scheduler.accounting_tick s;
+    match Credit_scheduler.pick_next s ~pcpu:0 with
+    | Some v -> Credit_scheduler.run_slice s v ~ns:1e6
+    | None -> Alcotest.fail "nothing runnable"
+  done;
+  let ratio = Credit_scheduler.fairness_ratio s in
+  Alcotest.(check bool) "equal weights share equally" true (ratio < 1.2)
+
+let test_credit_under_before_over () =
+  let s = Credit_scheduler.create ~pcpus:1 in
+  let hungry = Vcpu.create ~id:0 ~domain_id:1 in
+  let fresh = Vcpu.create ~id:0 ~domain_id:2 in
+  Credit_scheduler.attach s hungry ~weight:256;
+  Credit_scheduler.attach s fresh ~weight:256;
+  Vcpu.set_credit hungry (-50);
+  Vcpu.set_credit fresh 100;
+  (match Credit_scheduler.pick_next s ~pcpu:0 with
+  | Some v -> Alcotest.(check int) "UNDER first" 2 (Vcpu.domain_id v)
+  | None -> Alcotest.fail "pick");
+  (* Blocked vCPUs are never picked. *)
+  Vcpu.set_state fresh Vcpu.Blocked;
+  match Credit_scheduler.pick_next s ~pcpu:0 with
+  | Some v -> Alcotest.(check int) "OVER when alone" 1 (Vcpu.domain_id v)
+  | None -> Alcotest.fail "pick 2"
+
+let test_credit_switch_cost_monotone () =
+  Alcotest.(check bool) "longer runqueue dearer" true
+    (Credit_scheduler.switch_cost_ns ~runnable_vcpus:400
+    > Credit_scheduler.switch_cost_ns ~runnable_vcpus:4)
+
+(* ---------------- Split driver ---------------- *)
+
+let test_split_driver_ring () =
+  let hypercalls = Hypercall.create () in
+  let events = Event_channel.create Event_channel.Via_hypervisor in
+  let d = Split_driver.create ~hypercalls ~events ~ring_slots:2 in
+  (match Split_driver.submit d ~bytes_len:1448 with
+  | Ok cost -> Alcotest.(check bool) "submit cost" true (cost > 0.)
+  | Error e -> Alcotest.fail e);
+  (match Split_driver.submit d ~bytes_len:1448 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match Split_driver.submit d ~bytes_len:1448 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ring full must fail");
+  Alcotest.(check int) "in flight" 2 (Split_driver.in_flight d);
+  ignore (Split_driver.complete d ~count:2);
+  Alcotest.(check int) "drained" 0 (Split_driver.in_flight d);
+  match Split_driver.submit d ~bytes_len:100 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("slot not freed: " ^ e)
+
+let suites =
+  [
+    ( "hypervisor.hypercall",
+      [
+        Alcotest.test_case "surface" `Quick test_hypercall_surface;
+        Alcotest.test_case "counting" `Quick test_hypercall_counting;
+        Alcotest.test_case "costs" `Quick test_hypercall_costs;
+      ] );
+    ( "hypervisor.xkernel",
+      [
+        Alcotest.test_case "domain validation" `Quick test_domain_validation;
+        Alcotest.test_case "memory gate" `Quick test_xkernel_memory_gate;
+        Alcotest.test_case "destroy returns memory" `Quick
+          test_xkernel_destroy_returns_memory;
+        Alcotest.test_case "ABI differences" `Quick test_xkernel_abi_differences;
+        Alcotest.test_case "TCB comparison" `Quick test_tcb_comparison;
+        Alcotest.test_case "dom0 protected" `Quick test_dom0_protected;
+      ] );
+    ( "hypervisor.events",
+      [
+        Alcotest.test_case "bind/notify/deliver" `Quick test_event_channel_basic;
+        Alcotest.test_case "unbound" `Quick test_event_channel_unbound;
+        Alcotest.test_case "delivery costs (S4.2)" `Quick test_event_delivery_costs;
+      ] );
+    ( "hypervisor.pv_mmu",
+      [
+        Alcotest.test_case "valid batch" `Quick test_pv_mmu_valid_batch;
+        Alcotest.test_case "rejects hypervisor frame" `Quick
+          test_pv_mmu_rejects_hypervisor_frame;
+        Alcotest.test_case "rejects foreign frame" `Quick
+          test_pv_mmu_rejects_foreign_frame;
+        Alcotest.test_case "rejects writable PT" `Quick
+          test_pv_mmu_rejects_writable_page_table;
+        Alcotest.test_case "atomic batch" `Quick test_pv_mmu_atomic_batch;
+        Alcotest.test_case "batch cost scales" `Quick test_pv_mmu_batch_cost_scales;
+      ] );
+    ( "hypervisor.credit",
+      [
+        Alcotest.test_case "fairness" `Quick test_credit_fairness;
+        Alcotest.test_case "under before over" `Quick test_credit_under_before_over;
+        Alcotest.test_case "switch cost monotone" `Quick
+          test_credit_switch_cost_monotone;
+      ] );
+    ( "hypervisor.split_driver",
+      [ Alcotest.test_case "ring" `Quick test_split_driver_ring ] );
+  ]

@@ -1,0 +1,57 @@
+(* Tests for the experiment inventory and workload descriptions: the
+   registry, the harness and the docs must agree. *)
+
+let bench_targets =
+  (* The experiment names bench/main.ml accepts (kept in sync by this
+     test; "micro" and "csv" are utilities, not experiments). *)
+  [
+    "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig8"; "fig9"; "boot";
+    "ablation"; "fig8sim"; "security"; "migration"; "clone"; "latency";
+    "coldstart"; "macro-extra"; "build-bench"; "density";
+  ]
+
+let test_inventory_covers_bench () =
+  List.iter
+    (fun target ->
+      Alcotest.(check bool)
+        (Printf.sprintf "inventory has %s" target)
+        true
+        (Xcontainers.Inventory.find target <> None))
+    bench_targets;
+  Alcotest.(check int) "no stale inventory entries" (List.length bench_targets)
+    (List.length Xcontainers.Inventory.all)
+
+let test_inventory_structure () =
+  Alcotest.(check int) "eight paper entries" 8
+    (List.length Xcontainers.Inventory.paper_entries);
+  Alcotest.(check int) "ten extensions" 10
+    (List.length Xcontainers.Inventory.extension_entries);
+  List.iter
+    (fun (e : Xcontainers.Inventory.entry) ->
+      Alcotest.(check bool) (e.id ^ " names modules") true (e.modules <> []);
+      Alcotest.(check bool) (e.id ^ " has a paper ref") true (e.paper_ref <> ""))
+    Xcontainers.Inventory.all
+
+let test_workloads () =
+  Alcotest.(check bool) "ab closes connections" false Xc_apps.Workloads.ab.keepalive;
+  Alcotest.(check bool) "wrk keeps alive" true Xc_apps.Workloads.wrk.keepalive;
+  (match Xc_apps.Workloads.memtier.set_get_ratio with
+  | Some (1, 10) -> ()
+  | _ -> Alcotest.fail "memtier must be 1:10 SET:GET (Section 5.3)");
+  Alcotest.(check int) "fig8 wrk: 5 connections" 5
+    Xc_apps.Workloads.wrk_scalability.connections;
+  Alcotest.(check bool) "find" true (Xc_apps.Workloads.find "memtier" <> None);
+  Alcotest.(check bool) "find missing" true (Xc_apps.Workloads.find "jmeter" = None);
+  let cfg = Xc_apps.Workloads.closed_loop_config Xc_apps.Workloads.ab in
+  Alcotest.(check int) "config carries connections" 100
+    cfg.Xc_platforms.Closed_loop.connections
+
+let suites =
+  [
+    ( "core.inventory",
+      [
+        Alcotest.test_case "covers bench targets" `Quick test_inventory_covers_bench;
+        Alcotest.test_case "structure" `Quick test_inventory_structure;
+        Alcotest.test_case "workloads" `Quick test_workloads;
+      ] );
+  ]

@@ -1,0 +1,268 @@
+(* Tests for the guest-kernel model: syscall table, VFS, pipes, CFS, and
+   the kernel facade's process lifecycle and cost knobs. *)
+
+open Xc_os
+
+(* ---------------- Syscall numbers ---------------- *)
+
+let test_syscall_numbers_authentic () =
+  (* Match the real x86-64 table: these exact immediates end up inside
+     the synthetic binaries ABOM patches. *)
+  let expect = [ (Syscall_nr.Read, 0); (Write, 1); (Close, 3); (Dup, 32);
+                 (Getpid, 39); (Fork, 57); (Execve, 59); (Umask, 95);
+                 (Getuid, 102); (Epoll_wait, 232); (Accept4, 288) ]
+  in
+  List.iter
+    (fun (s, n) -> Alcotest.(check int) (Syscall_nr.name s) n (Syscall_nr.number s))
+    expect
+
+let test_syscall_roundtrip () =
+  List.iter
+    (fun s ->
+      match Syscall_nr.of_number (Syscall_nr.number s) with
+      | Some s' -> Alcotest.(check string) "roundtrip" (Syscall_nr.name s) (Syscall_nr.name s')
+      | None -> Alcotest.failf "no roundtrip for %s" (Syscall_nr.name s))
+    Syscall_nr.all;
+  Alcotest.(check bool) "unknown number" true (Syscall_nr.of_number 9999 = None)
+
+let test_cheap_class () =
+  (* Exactly the UnixBench System Call set. *)
+  let cheap = List.filter Syscall_nr.is_cheap_nonblocking Syscall_nr.all in
+  Alcotest.(check int) "five cheap syscalls" 5 (List.length cheap)
+
+(* ---------------- VFS ---------------- *)
+
+let test_vfs_files () =
+  let fs = Vfs.create () in
+  (match Vfs.mkdir_p fs "/var/www" with Ok () -> () | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  (match Vfs.write_file fs "/var/www/index.html" (Bytes.of_string "hello") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  Alcotest.(check bool) "exists" true (Vfs.exists fs "/var/www/index.html");
+  (match Vfs.read_file fs "/var/www/index.html" with
+  | Ok b -> Alcotest.(check string) "contents" "hello" (Bytes.to_string b)
+  | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  (match Vfs.file_size fs "/var/www/index.html" with
+  | Ok n -> Alcotest.(check int) "size" 5 n
+  | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  (match Vfs.readdir fs "/var/www" with
+  | Ok entries -> Alcotest.(check (list string)) "readdir" [ "index.html" ] entries
+  | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  (match Vfs.unlink fs "/var/www/index.html" with Ok () -> () | Error e -> Alcotest.fail (Vfs.error_to_string e));
+  Alcotest.(check bool) "gone" false (Vfs.exists fs "/var/www/index.html")
+
+let test_vfs_errors () =
+  let fs = Vfs.create () in
+  (match Vfs.read_file fs "/nope" with
+  | Error Vfs.Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  ignore (Vfs.mkdir_p fs "/d");
+  (match Vfs.read_file fs "/d" with
+  | Error Vfs.Is_a_directory -> ()
+  | _ -> Alcotest.fail "expected Is_a_directory");
+  ignore (Vfs.write_file fs "/d/f" Bytes.empty);
+  (match Vfs.mkdir fs "/d/f" with
+  | Error Vfs.Already_exists -> ()
+  | _ -> Alcotest.fail "expected Already_exists");
+  match Vfs.mkdir_p fs "/d/f/sub" with
+  | Error Vfs.Not_a_directory -> ()
+  | _ -> Alcotest.fail "expected Not_a_directory"
+
+let test_vfs_fd_io () =
+  let fs = Vfs.create () in
+  (match Vfs.openf fs "/f" `Create with
+  | Error e -> Alcotest.fail (Vfs.error_to_string e)
+  | Ok fd ->
+      (match Vfs.write fs fd (Bytes.of_string "abcdef") with
+      | Ok 6 -> ()
+      | _ -> Alcotest.fail "write 6");
+      (match Vfs.lseek fs fd 2 with Ok () -> () | Error _ -> Alcotest.fail "lseek");
+      (match Vfs.read fs fd ~buf_len:3 with
+      | Ok b -> Alcotest.(check string) "read window" "cde" (Bytes.to_string b)
+      | Error _ -> Alcotest.fail "read");
+      (match Vfs.close fs fd with Ok () -> () | Error _ -> Alcotest.fail "close");
+      (match Vfs.read fs fd ~buf_len:1 with
+      | Error Vfs.Bad_descriptor -> ()
+      | _ -> Alcotest.fail "read after close must fail"))
+
+let test_vfs_copy_cost () =
+  Alcotest.(check bool) "per-byte cost grows" true
+    (Vfs.copy_cost_ns ~bytes_len:4096 > Vfs.copy_cost_ns ~bytes_len:1024)
+
+(* ---------------- Pipe ---------------- *)
+
+let test_pipe_fifo () =
+  let p = Pipe.create () in
+  (match Pipe.write p (Bytes.of_string "abc") with
+  | `Wrote 3 -> ()
+  | _ -> Alcotest.fail "write 3");
+  (match Pipe.write p (Bytes.of_string "de") with
+  | `Wrote 2 -> ()
+  | _ -> Alcotest.fail "write 2");
+  (match Pipe.read p ~max_len:4 with
+  | `Read b -> Alcotest.(check string) "fifo order" "abcd" (Bytes.to_string b)
+  | `Would_block -> Alcotest.fail "unexpected block");
+  (match Pipe.read p ~max_len:10 with
+  | `Read b -> Alcotest.(check string) "rest" "e" (Bytes.to_string b)
+  | `Would_block -> Alcotest.fail "unexpected block");
+  match Pipe.read p ~max_len:1 with
+  | `Would_block -> ()
+  | `Read _ -> Alcotest.fail "empty pipe must block"
+
+let test_pipe_capacity () =
+  let p = Pipe.create ~capacity:4 () in
+  (match Pipe.write p (Bytes.of_string "abcdef") with
+  | `Wrote 4 -> ()
+  | _ -> Alcotest.fail "partial write to capacity");
+  (match Pipe.write p (Bytes.of_string "x") with
+  | `Would_block -> ()
+  | _ -> Alcotest.fail "full pipe must block");
+  Alcotest.(check int) "buffered" 4 (Pipe.buffered p);
+  Alcotest.(check int) "total transferred" 4 (Pipe.total_transferred p)
+
+let test_pipe_default_capacity () =
+  Alcotest.(check int) "linux default" 65536 Pipe.default_capacity
+
+(* ---------------- CFS ---------------- *)
+
+let make_proc pid =
+  Process.create ~pid ~aspace:(Xc_mem.Address_space.create ~id:pid) ()
+
+let test_cfs_pick_lowest_vruntime () =
+  let s = Cfs.create () in
+  let a = make_proc 1 and b = make_proc 2 in
+  Cfs.add s a;
+  Cfs.add s b;
+  Process.set_vruntime a 100.;
+  Process.set_vruntime b 50.;
+  (match Cfs.pick_next s with
+  | Some p -> Alcotest.(check int) "lowest vruntime" 2 (Process.pid p)
+  | None -> Alcotest.fail "pick");
+  Cfs.run_slice s b ~ns:100.;
+  match Cfs.pick_next s with
+  | Some p -> Alcotest.(check int) "switches after slice" 1 (Process.pid p)
+  | None -> Alcotest.fail "pick 2"
+
+let test_cfs_blocked_skipped () =
+  let s = Cfs.create () in
+  let a = make_proc 1 and b = make_proc 2 in
+  Cfs.add s a;
+  Cfs.add s b;
+  Process.set_state a Process.Blocked;
+  Alcotest.(check int) "one runnable" 1 (Cfs.runnable_count s);
+  match Cfs.pick_next s with
+  | Some p -> Alcotest.(check int) "runnable one picked" 2 (Process.pid p)
+  | None -> Alcotest.fail "pick"
+
+let test_cfs_wake_fairness () =
+  let s = Cfs.create () in
+  let a = make_proc 1 and b = make_proc 2 in
+  Cfs.add s a;
+  Cfs.run_slice s a ~ns:1000.;
+  Process.set_state b Process.Blocked;
+  Cfs.wake s b;
+  (* Woken process starts at the queue minimum: no starvation, no unfair
+     catch-up burst. *)
+  Alcotest.(check (float 1e-9)) "vruntime at min" 1000. (Process.vruntime b)
+
+(* ---------------- Kernel ---------------- *)
+
+let test_kernel_spawn_policy () =
+  let stock = Kernel.create () in
+  let p = Kernel.spawn stock in
+  Alcotest.(check bool) "stock: kernel not global" false
+    (Xc_mem.Address_space.kernel_global (Process.aspace p));
+  let xlibos = Kernel.create ~config:Kernel.xlibos_config () in
+  let q = Kernel.spawn xlibos in
+  Alcotest.(check bool) "xlibos: kernel global" true
+    (Xc_mem.Address_space.kernel_global (Process.aspace q))
+
+let test_kernel_fork_wait () =
+  let k = Kernel.create () in
+  let parent = Kernel.spawn k in
+  let child, cost = Kernel.fork k parent in
+  Alcotest.(check bool) "fork costs time" true (cost > 0.);
+  Alcotest.(check int) "ppid" (Process.pid parent) (Process.ppid child);
+  Alcotest.(check int) "two processes" 2 (Kernel.process_count k);
+  (* Child's address space is a copy of the parent's. *)
+  Alcotest.(check int) "page table copied"
+    (Xc_mem.Page_table.entry_count (Xc_mem.Address_space.table (Process.aspace parent)))
+    (Xc_mem.Page_table.entry_count (Xc_mem.Address_space.table (Process.aspace child)));
+  ignore (Kernel.exit_process k child);
+  let reaped, _ = Kernel.wait k parent in
+  (match reaped with
+  | Some z -> Alcotest.(check int) "reaped the child" (Process.pid child) (Process.pid z)
+  | None -> Alcotest.fail "expected a zombie");
+  Alcotest.(check int) "back to one" 1 (Kernel.process_count k);
+  let nothing, _ = Kernel.wait k parent in
+  Alcotest.(check bool) "no more zombies" true (nothing = None)
+
+let test_kernel_fork_cost_pv () =
+  let stock = Kernel.create () in
+  let pv = Kernel.create ~config:Kernel.xlibos_config () in
+  Alcotest.(check bool) "PV fork dearer (S5.4)" true
+    (Kernel.fork_cost_ns pv ~pages:640 > Kernel.fork_cost_ns stock ~pages:640);
+  Alcotest.(check bool) "PV exec dearer" true
+    (Kernel.exec_cost_ns pv > Kernel.exec_cost_ns stock)
+
+let test_kernel_context_switch_global_bit () =
+  let stock = Kernel.create () in
+  let xlibos = Kernel.create ~config:Kernel.xlibos_config () in
+  Alcotest.(check bool) "global bit saves kernel refill" true
+    (Kernel.context_switch_cost_ns xlibos < Kernel.context_switch_cost_ns stock)
+
+let test_kernel_smp_tax () =
+  let smp = Kernel.create () in
+  let up =
+    Kernel.create ~config:{ Kernel.default_config with smp = false } ()
+  in
+  Alcotest.(check bool) "SMP locking tax (S3.2)" true
+    (Kernel.syscall_work_ns up (Kernel.File_read 1024)
+    < Kernel.syscall_work_ns smp (Kernel.File_read 1024))
+
+let test_kernel_work_scaling () =
+  let k = Kernel.create () in
+  Alcotest.(check bool) "bigger copies cost more" true
+    (Kernel.syscall_work_ns k (Kernel.File_read 65536)
+    > Kernel.syscall_work_ns k (Kernel.File_read 1024));
+  Alcotest.(check bool) "cheap really cheap" true
+    (Kernel.syscall_work_ns k (Kernel.Cheap Syscall_nr.Getpid) < 50.)
+
+let suites =
+  [
+    ( "os.syscall_nr",
+      [
+        Alcotest.test_case "authentic numbers" `Quick test_syscall_numbers_authentic;
+        Alcotest.test_case "roundtrip" `Quick test_syscall_roundtrip;
+        Alcotest.test_case "cheap class" `Quick test_cheap_class;
+      ] );
+    ( "os.vfs",
+      [
+        Alcotest.test_case "files" `Quick test_vfs_files;
+        Alcotest.test_case "errors" `Quick test_vfs_errors;
+        Alcotest.test_case "fd io" `Quick test_vfs_fd_io;
+        Alcotest.test_case "copy cost" `Quick test_vfs_copy_cost;
+      ] );
+    ( "os.pipe",
+      [
+        Alcotest.test_case "fifo" `Quick test_pipe_fifo;
+        Alcotest.test_case "capacity" `Quick test_pipe_capacity;
+        Alcotest.test_case "default capacity" `Quick test_pipe_default_capacity;
+      ] );
+    ( "os.cfs",
+      [
+        Alcotest.test_case "pick lowest" `Quick test_cfs_pick_lowest_vruntime;
+        Alcotest.test_case "blocked skipped" `Quick test_cfs_blocked_skipped;
+        Alcotest.test_case "wake fairness" `Quick test_cfs_wake_fairness;
+      ] );
+    ( "os.kernel",
+      [
+        Alcotest.test_case "spawn policy" `Quick test_kernel_spawn_policy;
+        Alcotest.test_case "fork/wait lifecycle" `Quick test_kernel_fork_wait;
+        Alcotest.test_case "PV fork cost" `Quick test_kernel_fork_cost_pv;
+        Alcotest.test_case "global-bit switch cost" `Quick
+          test_kernel_context_switch_global_bit;
+        Alcotest.test_case "smp tax" `Quick test_kernel_smp_tax;
+        Alcotest.test_case "work scaling" `Quick test_kernel_work_scaling;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Tests for the stateful OS plumbing added beyond the cost models:
+   sockets, fd tables and grant tables — plus an end-to-end request
+   served through real socket objects. *)
+
+open Xc_os
+
+(* ---------------- Sockets ---------------- *)
+
+let listener ~port ~backlog =
+  let s = Socket.create () in
+  (match Socket.bind s ~port with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Socket.listen s ~backlog with Ok () -> () | Error e -> Alcotest.fail e);
+  s
+
+let test_socket_lifecycle () =
+  let srv = listener ~port:80 ~backlog:4 in
+  let client = Socket.create () in
+  (match Socket.connect client ~to_port:80 ~namespace:[ srv ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let server_side =
+    match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "client established" true (Socket.state client = Socket.Established);
+  Alcotest.(check bool) "server side established" true
+    (Socket.state server_side = Socket.Established);
+  (* Request/response through the buffers. *)
+  (match Socket.send client (Bytes.of_string "GET / HTTP/1.1") with
+  | Ok 14 -> ()
+  | Ok n -> Alcotest.failf "partial send %d" n
+  | Error e -> Alcotest.fail e);
+  (match Socket.recv server_side ~max_len:1024 with
+  | Ok b -> Alcotest.(check string) "request arrives" "GET / HTTP/1.1" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  (match Socket.send server_side (Bytes.of_string "200 OK") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Socket.recv client ~max_len:1024 with
+  | Ok b -> Alcotest.(check string) "response arrives" "200 OK" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e)
+
+let test_socket_refusal_and_backlog () =
+  let client = Socket.create () in
+  (match Socket.connect client ~to_port:81 ~namespace:[] with
+  | Error "connection refused" -> ()
+  | _ -> Alcotest.fail "expected refusal");
+  let srv = listener ~port:81 ~backlog:1 in
+  let c1 = Socket.create () and c2 = Socket.create () in
+  (match Socket.connect c1 ~to_port:81 ~namespace:[ srv ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Socket.connect c2 ~to_port:81 ~namespace:[ srv ] with
+  | Error "backlog full" -> ()
+  | _ -> Alcotest.fail "expected backlog full"
+
+let test_socket_eof_and_broken_pipe () =
+  let srv = listener ~port:82 ~backlog:2 in
+  let client = Socket.create () in
+  ignore (Socket.connect client ~to_port:82 ~namespace:[ srv ]);
+  let server_side = match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e in
+  ignore (Socket.send client (Bytes.of_string "bye"));
+  Socket.close client;
+  (* The peer can still drain buffered data, then sees EOF. *)
+  (match Socket.recv server_side ~max_len:10 with
+  | Ok b -> Alcotest.(check string) "drain before EOF" "bye" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  (match Socket.recv server_side ~max_len:10 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected EOF");
+  match Socket.send server_side (Bytes.of_string "x") with
+  | Error "broken pipe" -> ()
+  | _ -> Alcotest.fail "expected broken pipe"
+
+let test_socket_flow_control () =
+  let srv = listener ~port:83 ~backlog:2 in
+  let client = Socket.create () in
+  ignore (Socket.connect client ~to_port:83 ~namespace:[ srv ]);
+  let _server_side = match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e in
+  let big = Bytes.make (Socket.buffer_capacity + 100) 'x' in
+  (match Socket.send client big with
+  | Ok n -> Alcotest.(check int) "bounded by buffer" Socket.buffer_capacity n
+  | Error e -> Alcotest.fail e);
+  match Socket.send client (Bytes.of_string "y") with
+  | Ok 0 -> () (* would block *)
+  | Ok n -> Alcotest.failf "expected 0, got %d" n
+  | Error e -> Alcotest.fail e
+
+let test_socket_accept_order () =
+  let srv = listener ~port:84 ~backlog:8 in
+  let mk tag =
+    let c = Socket.create () in
+    ignore (Socket.connect c ~to_port:84 ~namespace:[ srv ]);
+    ignore (Socket.send c (Bytes.of_string tag));
+    c
+  in
+  let _a = mk "first" and _b = mk "second" in
+  let s1 = match Socket.accept srv with Ok s -> s | Error e -> Alcotest.fail e in
+  (match Socket.recv s1 ~max_len:16 with
+  | Ok b -> Alcotest.(check string) "FIFO accept" "first" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  match Socket.accept srv with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* ---------------- Fd table ---------------- *)
+
+let test_fd_table_basics () =
+  let t = Fd_table.create () in
+  Alcotest.(check int) "std streams" 3 (Fd_table.open_count t);
+  let p = Pipe.create () in
+  let fd = Fd_table.allocate t (Fd_table.Pipe_read p) in
+  Alcotest.(check int) "lowest free is 3" 3 fd;
+  (match Fd_table.dup t fd with
+  | Ok d -> Alcotest.(check int) "dup gets 4" 4 d
+  | Error e -> Alcotest.fail e);
+  (match Fd_table.close t fd with Ok () -> () | Error e -> Alcotest.fail e);
+  (* The dup'd descriptor still works; slot 3 is free again. *)
+  (match Fd_table.get t 4 with
+  | Some (Fd_table.Pipe_read _) -> ()
+  | _ -> Alcotest.fail "dup target lost");
+  let fd2 = Fd_table.allocate t (Fd_table.Pipe_write p) in
+  Alcotest.(check int) "slot reused" 3 fd2
+
+let test_fd_table_errors () =
+  let t = Fd_table.create () in
+  (match Fd_table.dup t 99 with Error _ -> () | Ok _ -> Alcotest.fail "dup bad fd");
+  (match Fd_table.close t 99 with Error _ -> () | Ok _ -> Alcotest.fail "close bad fd");
+  (match Fd_table.dup2 t 0 (-1) with Error _ -> () | Ok _ -> Alcotest.fail "dup2 bad");
+  match Fd_table.dup2 t 0 7 with
+  | Ok () -> begin
+      match Fd_table.get t 7 with
+      | Some (Fd_table.Std "stdin") -> ()
+      | _ -> Alcotest.fail "dup2 target wrong"
+    end
+  | Error e -> Alcotest.fail e
+
+let test_fd_table_clone () =
+  let t = Fd_table.create () in
+  let p = Pipe.create () in
+  let fd = Fd_table.allocate t (Fd_table.Pipe_write p) in
+  let child = Fd_table.clone t in
+  (* Closing in the child does not affect the parent (separate tables),
+     but both named the same pipe. *)
+  (match Fd_table.close child fd with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Fd_table.get t fd with
+  | Some (Fd_table.Pipe_write p') -> Alcotest.(check bool) "same pipe" true (p' == p)
+  | _ -> Alcotest.fail "parent lost fd")
+
+(* The UnixBench dup/close inner loop, on the real table. *)
+let test_fd_table_unixbench_loop () =
+  let t = Fd_table.create () in
+  for _ = 1 to 1000 do
+    match Fd_table.dup t 1 with
+    | Ok fd -> begin
+        match Fd_table.close t fd with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e
+      end
+    | Error e -> Alcotest.fail e
+  done;
+  Alcotest.(check int) "no leak" 3 (Fd_table.open_count t)
+
+(* ---------------- Grant table ---------------- *)
+
+let test_grant_lifecycle () =
+  let gt = Xc_hypervisor.Grant_table.create ~owner:1 ~capacity:8 in
+  let r =
+    match Xc_hypervisor.Grant_table.grant gt ~to_domain:0 ~frame:555 Xc_hypervisor.Grant_table.Read_only with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match Xc_hypervisor.Grant_table.map gt r ~by_domain:0 with
+  | Ok (frame, Xc_hypervisor.Grant_table.Read_only) ->
+      Alcotest.(check int) "frame" 555 frame
+  | Ok _ -> Alcotest.fail "wrong permission"
+  | Error e -> Alcotest.fail e);
+  (* Revocation must wait for the unmap. *)
+  (match Xc_hypervisor.Grant_table.revoke gt r with
+  | Error "mappings outstanding" -> ()
+  | _ -> Alcotest.fail "revoke must fail while mapped");
+  (match Xc_hypervisor.Grant_table.unmap gt r ~by_domain:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Xc_hypervisor.Grant_table.revoke gt r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Xc_hypervisor.Grant_table.map gt r ~by_domain:0 with
+  | Error "grant revoked" -> ()
+  | _ -> Alcotest.fail "no use after revoke"
+
+let test_grant_authorization () =
+  let gt = Xc_hypervisor.Grant_table.create ~owner:1 ~capacity:2 in
+  let r =
+    match Xc_hypervisor.Grant_table.grant gt ~to_domain:2 ~frame:7 Xc_hypervisor.Grant_table.Read_write with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* Only the named grantee may map. *)
+  (match Xc_hypervisor.Grant_table.map gt r ~by_domain:3 with
+  | Error "grant is for another domain" -> ()
+  | _ -> Alcotest.fail "wrong domain must be rejected");
+  (match Xc_hypervisor.Grant_table.map gt 999 ~by_domain:2 with
+  | Error "unknown grant reference" -> ()
+  | _ -> Alcotest.fail "unknown ref");
+  (* Capacity limit. *)
+  ignore (Xc_hypervisor.Grant_table.grant gt ~to_domain:2 ~frame:8 Xc_hypervisor.Grant_table.Read_only);
+  match Xc_hypervisor.Grant_table.grant gt ~to_domain:2 ~frame:9 Xc_hypervisor.Grant_table.Read_only with
+  | Error "grant table full" -> ()
+  | _ -> Alcotest.fail "capacity must bind"
+
+let suites =
+  [
+    ( "os.socket",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_socket_lifecycle;
+        Alcotest.test_case "refusal/backlog" `Quick test_socket_refusal_and_backlog;
+        Alcotest.test_case "EOF/broken pipe" `Quick test_socket_eof_and_broken_pipe;
+        Alcotest.test_case "flow control" `Quick test_socket_flow_control;
+        Alcotest.test_case "accept order" `Quick test_socket_accept_order;
+      ] );
+    ( "os.fd_table",
+      [
+        Alcotest.test_case "basics" `Quick test_fd_table_basics;
+        Alcotest.test_case "errors" `Quick test_fd_table_errors;
+        Alcotest.test_case "clone" `Quick test_fd_table_clone;
+        Alcotest.test_case "unixbench loop" `Quick test_fd_table_unixbench_loop;
+      ] );
+    ( "hypervisor.grant_table",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_grant_lifecycle;
+        Alcotest.test_case "authorization" `Quick test_grant_authorization;
+      ] );
+  ]

@@ -1,0 +1,89 @@
+(* Tests for the syscall profiler. *)
+
+open Xc_isa
+module Profile = Xc_abom.Profile
+
+let run_profiled ?(iterations = 10) wrappers =
+  let prog = Builder.build wrappers in
+  let patcher = Xc_abom.Patcher.create (Xc_abom.Entry_table.create ()) in
+  let config = Xc_abom.Patcher.machine_config patcher () in
+  let m = Machine.create ~config prog.image ~entry:prog.entry in
+  for _ = 1 to iterations do
+    Machine.reset m ~entry:prog.entry;
+    ignore (Machine.run m)
+  done;
+  Profile.of_machine m
+
+let test_totals () =
+  let p = run_profiled ~iterations:10 [ (Builder.Glibc_small, 0); (Builder.Glibc_small, 1) ] in
+  Alcotest.(check int) "total" 20 p.Profile.total;
+  (* Two warmup traps, the rest converted. *)
+  Alcotest.(check int) "trapped" 2 p.Profile.trapped;
+  Alcotest.(check int) "converted" 18 p.Profile.converted;
+  Alcotest.(check bool) "reduction 90%" true
+    (Float.abs (Profile.reduction p -. 0.9) < 1e-9)
+
+let test_by_sysno_ordering () =
+  (* Three calls of sysno 5 per run, one of sysno 6. *)
+  let p =
+    run_profiled ~iterations:4
+      [
+        (Builder.Glibc_small, 5);
+        (Builder.Glibc_small, 5);
+        (Builder.Glibc_small, 5);
+        (Builder.Glibc_small, 6);
+      ]
+  in
+  match p.Profile.by_sysno with
+  | (top_sysno, top_n) :: _ ->
+      Alcotest.(check int) "hottest sysno" 5 top_sysno;
+      Alcotest.(check int) "count" 12 top_n
+  | [] -> Alcotest.fail "empty profile"
+
+let test_hot_unconverted () =
+  let p =
+    run_profiled ~iterations:20
+      [ (Builder.Glibc_small, 0); (Builder.Cancellable, 1); (Builder.Exotic, 2) ]
+  in
+  let hot = Profile.hot_unconverted p in
+  (* The cancellable and exotic sites keep trapping; the glibc site only
+     trapped once (warmup) so it still appears but with 1 trap. *)
+  Alcotest.(check bool) "at least the two unpatchable sites" true
+    (List.length hot >= 2);
+  (match hot with
+  | first :: _ ->
+      Alcotest.(check int) "hottest trap count" 20 first.Profile.trapped;
+      Alcotest.(check bool) "is an unpatchable sysno" true
+        (first.Profile.sysno = 1 || first.Profile.sysno = 2)
+  | [] -> Alcotest.fail "no hot sites");
+  Alcotest.(check bool) "top limit respected" true
+    (List.length (Profile.hot_unconverted ~top:1 p) = 1)
+
+let test_empty () =
+  let p = Profile.of_events [] in
+  Alcotest.(check int) "empty total" 0 p.Profile.total;
+  Alcotest.(check (float 1e-12)) "empty reduction" 0. (Profile.reduction p);
+  Alcotest.(check (list (pair int int))) "no sysnos" [] p.Profile.by_sysno
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_renders () =
+  let p = run_profiled [ (Builder.Glibc_small, 0) ] in
+  let s = Format.asprintf "%a" Profile.pp p in
+  Alcotest.(check bool) "mentions read" true (contains s "read");
+  Alcotest.(check bool) "mentions totals" true (contains s "syscalls: 10 total")
+
+let suites =
+  [
+    ( "abom.profile",
+      [
+        Alcotest.test_case "totals" `Quick test_totals;
+        Alcotest.test_case "by sysno" `Quick test_by_sysno_ordering;
+        Alcotest.test_case "hot unconverted" `Quick test_hot_unconverted;
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "pp" `Quick test_pp_renders;
+      ] );
+  ]

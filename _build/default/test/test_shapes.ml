@@ -1,0 +1,240 @@
+(* Integration tests: the paper's headline results, asserted as shapes.
+
+   These run the same experiment code as the benchmark harness
+   (Xcontainers.Figures) and check who wins, by roughly what factor, and
+   where crossovers fall — the reproduction contract from DESIGN.md. *)
+
+module Config = Xc_platforms.Config
+module Figures = Xcontainers.Figures
+
+let assoc name l =
+  match List.assoc_opt name l with
+  | Some v -> v
+  | None -> Alcotest.failf "missing configuration %s" name
+
+(* ---------------- Figure 4 ---------------- *)
+
+let test_fig4_headline_27x () =
+  let rel = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  let xc = assoc "X-Container" rel in
+  Alcotest.(check bool)
+    (Printf.sprintf "XC raw syscall throughput 20-32x Docker (got %.1fx)" xc)
+    true
+    (xc > 20. && xc < 32.)
+
+let test_fig4_gvisor_collapse () =
+  let rel = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  let g = assoc "gVisor" rel in
+  Alcotest.(check bool) "gVisor at 5-10% of Docker" true (g > 0.04 && g < 0.11)
+
+let test_fig4_clear_gap () =
+  let rel = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  let xc = assoc "X-Container" rel and clear = assoc "Clear-Container" rel in
+  let gap = xc /. clear in
+  Alcotest.(check bool)
+    (Printf.sprintf "XC up to 1.6x Clear (got %.2fx)" gap)
+    true (gap > 1.3 && gap < 1.9);
+  Alcotest.(check bool) "Clear still well above Docker" true (clear > 5.)
+
+let test_fig4_xen_pv_penalty () =
+  let rel = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  (* The Section 4.1 motivation: x86-64 PV syscall forwarding is slow. *)
+  Alcotest.(check bool) "Xen-Container below Docker" true
+    (assoc "Xen-Container" rel < 0.6)
+
+let test_fig4_meltdown_immunity () =
+  let rel = Figures.fig4 Config.Amazon_ec2 ~concurrent:false in
+  (* Patch-immune platforms show identical patched/unpatched bars. *)
+  Alcotest.(check (float 1e-6)) "XC immune" (assoc "X-Container" rel)
+    (assoc "X-Container-unpatched" rel);
+  Alcotest.(check (float 1e-6)) "Clear immune" (assoc "Clear-Container" rel)
+    (assoc "Clear-Container-unpatched" rel);
+  Alcotest.(check bool) "Docker unpatched much faster" true
+    (assoc "Docker-unpatched" rel > 2.)
+
+(* ---------------- Figure 3 ---------------- *)
+
+let rel_tput cloud app =
+  Figures.relative_throughput (Figures.fig3 cloud app)
+
+let test_fig3_nginx () =
+  let amazon = assoc "X-Container" (rel_tput Config.Amazon_ec2 Figures.Nginx_ab) in
+  let google = assoc "X-Container" (rel_tput Config.Google_gce Figures.Nginx_ab) in
+  (* Paper: 21% to 50% improvement over Docker. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "nginx XC wins on both clouds (%.2f, %.2f)" amazon google)
+    true
+    (amazon > 1.15 && amazon < 1.6 && google > 1.15 && google < 1.75)
+
+let test_fig3_memcached () =
+  let amazon = assoc "X-Container" (rel_tput Config.Amazon_ec2 Figures.Memcached_app) in
+  let google = assoc "X-Container" (rel_tput Config.Google_gce Figures.Memcached_app) in
+  (* Paper: 134% to 208% of Docker. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "memcached XC 1.34-2.08x (%.2f, %.2f)" amazon google)
+    true
+    (Float.min amazon google > 1.25 && Float.max amazon google < 2.1)
+
+let test_fig3_redis () =
+  let amazon = assoc "X-Container" (rel_tput Config.Amazon_ec2 Figures.Redis_app) in
+  (* Paper: comparable to Docker (with stronger isolation). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "redis XC comparable (%.2f)" amazon)
+    true (amazon > 0.85 && amazon < 1.3)
+
+let test_fig3_gvisor_and_clear_lose () =
+  List.iter
+    (fun app ->
+      let rel = rel_tput Config.Amazon_ec2 app in
+      Alcotest.(check bool) "gVisor far below Docker" true (assoc "gVisor" rel < 0.5);
+      Alcotest.(check bool) "Clear below Docker" true
+        (assoc "Clear-Container" rel < 1.0);
+      Alcotest.(check bool) "Xen-Container below Docker" true
+        (assoc "Xen-Container" rel < 1.0))
+    Figures.macro_apps
+
+let test_fig3_latency_inverts () =
+  let results = Figures.fig3 Config.Amazon_ec2 Figures.Memcached_app in
+  let lat = Figures.relative_latency results in
+  (* Winners on throughput have lower relative latency. *)
+  Alcotest.(check bool) "XC latency below Docker" true (assoc "X-Container" lat < 1.0);
+  Alcotest.(check bool) "gVisor latency explodes" true (assoc "gVisor" lat > 5.)
+
+(* ---------------- Figure 5 ---------------- *)
+
+let fig5 test = Figures.fig5 Config.Amazon_ec2 ~concurrent:false test
+
+let test_fig5_xc_strengths () =
+  Alcotest.(check bool) "file copy >2x" true
+    (assoc "X-Container" (fig5 Xc_apps.Unixbench.File_copy) > 2.);
+  Alcotest.(check bool) "pipe >2x" true
+    (assoc "X-Container" (fig5 Xc_apps.Unixbench.Pipe_throughput) > 2.)
+
+let test_fig5_xc_weaknesses () =
+  (* Section 5.4: page-table operations go through the X-Kernel. *)
+  Alcotest.(check bool) "context switching < Docker" true
+    (assoc "X-Container" (fig5 Xc_apps.Unixbench.Context_switching) < 1.0);
+  Alcotest.(check bool) "process creation < Docker" true
+    (assoc "X-Container" (fig5 Xc_apps.Unixbench.Process_creation) < 1.0)
+
+let test_fig5_meltdown_on_micro () =
+  (* Unpatched Docker clearly faster on syscall-bound microbenchmarks. *)
+  Alcotest.(check bool) "file copy unpatched docker" true
+    (assoc "Docker-unpatched" (fig5 Xc_apps.Unixbench.File_copy) > 1.4)
+
+let test_fig5_iperf () =
+  let rel = fig5 Xc_apps.Unixbench.Iperf in
+  Alcotest.(check bool) "XC wire-bound like Docker" true
+    (assoc "X-Container" rel > 0.9);
+  Alcotest.(check bool) "gVisor collapses" true (assoc "gVisor" rel < 0.3);
+  Alcotest.(check bool) "Clear penalised" true (assoc "Clear-Container" rel < 0.9)
+
+(* ---------------- Figure 8 ---------------- *)
+
+let test_fig8_shapes () =
+  let results = Figures.fig8 () in
+  let points runtime = List.assoc runtime results in
+  let tput runtime n =
+    match
+      List.find_opt (fun (p : Xc_apps.Scalability.point) -> p.containers = n)
+        (points runtime)
+    with
+    | Some p -> p.throughput_rps
+    | None -> Alcotest.failf "no point at %d" n
+  in
+  (* Docker ahead in the mid-range, XC ahead by ~18% at 400. *)
+  Alcotest.(check bool) "docker ahead at 200" true
+    (tput Config.Docker 200 > tput Config.X_container 200);
+  let r400 = tput Config.X_container 400 /. tput Config.Docker 400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "XC +10-30%% at 400 (got %+.0f%%)" ((r400 -. 1.) *. 100.))
+    true (r400 > 1.10 && r400 < 1.30);
+  (* Docker's curve must decline from its peak. *)
+  Alcotest.(check bool) "docker declines" true
+    (tput Config.Docker 400 < 0.9 *. tput Config.Docker 200)
+
+let test_fig8_vm_ceilings () =
+  let results = Figures.fig8 () in
+  let booted runtime n =
+    match
+      List.find_opt (fun (p : Xc_apps.Scalability.point) -> p.containers = n)
+        (List.assoc runtime results)
+    with
+    | Some p -> p.booted
+    | None -> false
+  in
+  Alcotest.(check bool) "PV dies above 250" true
+    (booted Config.Xen_pv 250 && not (booted Config.Xen_pv 300));
+  Alcotest.(check bool) "HVM dies above 200" true
+    (booted Config.Xen_hvm 200 && not (booted Config.Xen_hvm 250))
+
+(* ---------------- Table 1 ---------------- *)
+
+let test_table1_all_rows () =
+  let rows = Figures.table1 ~invocations:20_000 () in
+  Alcotest.(check int) "twelve rows" 12 (List.length rows);
+  List.iter
+    (fun (m : Xc_apps.Profiles.measurement) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within 2pp of paper (%.3f vs %.3f)" m.profile.name
+           m.auto_reduction m.profile.paper_reduction)
+        true
+        (Float.abs (m.auto_reduction -. m.profile.paper_reduction) < 0.02))
+    rows
+
+(* ---------------- Figure 6 / 9 round-up ---------------- *)
+
+let test_fig6_summary () =
+  let r = Figures.fig6 () in
+  Alcotest.(check int) "three 1-worker bars" 3 (List.length r.nginx_1worker);
+  Alcotest.(check int) "two 4-worker bars" 2 (List.length r.nginx_4workers);
+  (* Graphene(2): shared+dedicated impossible; Unikernel(2); X(3). *)
+  Alcotest.(check int) "five php bars" 5 (List.length r.php_mysql)
+
+let test_fig9_order () =
+  let results = Figures.fig9 () in
+  let tputs = List.map (fun (r : Xc_apps.Lb_experiment.result) -> r.throughput_rps) results in
+  (* Strictly increasing in the order Docker, XC-haproxy, NAT, DR. *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "figure 9 ordering" true (increasing tputs)
+
+let suites =
+  [
+    ( "shapes.fig4",
+      [
+        Alcotest.test_case "27x headline" `Quick test_fig4_headline_27x;
+        Alcotest.test_case "gvisor collapse" `Quick test_fig4_gvisor_collapse;
+        Alcotest.test_case "clear gap" `Quick test_fig4_clear_gap;
+        Alcotest.test_case "xen pv penalty" `Quick test_fig4_xen_pv_penalty;
+        Alcotest.test_case "meltdown immunity" `Quick test_fig4_meltdown_immunity;
+      ] );
+    ( "shapes.fig3",
+      [
+        Alcotest.test_case "nginx" `Slow test_fig3_nginx;
+        Alcotest.test_case "memcached" `Slow test_fig3_memcached;
+        Alcotest.test_case "redis" `Slow test_fig3_redis;
+        Alcotest.test_case "gvisor/clear lose" `Slow test_fig3_gvisor_and_clear_lose;
+        Alcotest.test_case "latency inverts" `Slow test_fig3_latency_inverts;
+      ] );
+    ( "shapes.fig5",
+      [
+        Alcotest.test_case "xc strengths" `Quick test_fig5_xc_strengths;
+        Alcotest.test_case "xc weaknesses" `Quick test_fig5_xc_weaknesses;
+        Alcotest.test_case "meltdown on micro" `Quick test_fig5_meltdown_on_micro;
+        Alcotest.test_case "iperf" `Quick test_fig5_iperf;
+      ] );
+    ( "shapes.fig8",
+      [
+        Alcotest.test_case "crossover" `Quick test_fig8_shapes;
+        Alcotest.test_case "vm ceilings" `Quick test_fig8_vm_ceilings;
+      ] );
+    ("shapes.table1", [ Alcotest.test_case "all rows" `Slow test_table1_all_rows ]);
+    ( "shapes.fig6_fig9",
+      [
+        Alcotest.test_case "fig6 summary" `Quick test_fig6_summary;
+        Alcotest.test_case "fig9 ordering" `Quick test_fig9_order;
+      ] );
+  ]

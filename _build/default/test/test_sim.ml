@@ -1,0 +1,407 @@
+(* Tests for the discrete-event simulation substrate (xc_sim). *)
+
+open Xc_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* ---------------- Time ---------------- *)
+
+let test_time_units () =
+  check_float "us" 1_000. (Time_ns.us 1.);
+  check_float "ms" 1_000_000. (Time_ns.ms 1.);
+  check_float "s" 1e9 (Time_ns.s 1.);
+  check_float "to_us" 1.5 (Time_ns.to_us (Time_ns.ns 1500.));
+  check_float "to_s" 2. (Time_ns.to_s (Time_ns.s 2.))
+
+let test_time_arith () =
+  let open Time_ns in
+  check_float "add" 3. (add (ns 1.) (ns 2.));
+  check_float "sub" 1. (sub (ns 3.) (ns 2.));
+  Alcotest.(check int) "compare" (-1) (compare (ns 1.) (ns 2.));
+  check_float "min" 1. (min (ns 1.) (ns 2.));
+  check_float "max" 2. (max (ns 1.) (ns 2.))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "12.0ns" (Time_ns.to_string (Time_ns.ns 12.));
+  Alcotest.(check string) "us" "1.25us" (Time_ns.to_string (Time_ns.ns 1250.));
+  Alcotest.(check string) "ms" "2.50ms" (Time_ns.to_string (Time_ns.ms 2.5));
+  Alcotest.(check string) "s" "1.500s" (Time_ns.to_string (Time_ns.s 1.5))
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  (* The child stream must not be a shifted copy of the parent stream. *)
+  let xs = List.init 10 (fun _ -> Prng.next_int64 parent) in
+  let ys = List.init 10 (fun _ -> Prng.next_int64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_copy () =
+  let a = Prng.create 9 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_mean () =
+  let rng = Prng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "uniform mean near 0.5" true (mean > 0.48 && mean < 0.52)
+
+let test_exponential_mean () =
+  let rng = Prng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean near 5" true (mean > 4.7 && mean < 5.3)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let prng_props =
+  [
+    QCheck.Test.make ~name:"int bounded" ~count:500
+      QCheck.(pair small_int (int_range 1 1_000_000))
+      (fun (seed, bound) ->
+        let rng = Prng.create seed in
+        let v = Prng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"float bounded" ~count:500 QCheck.small_int
+      (fun seed ->
+        let rng = Prng.create seed in
+        let v = Prng.float rng 10.0 in
+        v >= 0. && v < 10.);
+    QCheck.Test.make ~name:"pareto above scale" ~count:200 QCheck.small_int
+      (fun seed ->
+        let rng = Prng.create seed in
+        Prng.pareto rng ~shape:2.0 ~scale:3.0 >= 3.0);
+    QCheck.Test.make ~name:"pick returns member" ~count:200
+      QCheck.(pair small_int (array_of_size Gen.(int_range 1 20) int))
+      (fun (seed, arr) ->
+        let rng = Prng.create seed in
+        Array.length arr = 0
+        ||
+        let picked = Prng.pick rng arr in
+        Array.exists (fun x -> x = picked) arr);
+  ]
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "drained" None (Heap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 5.0 v) [ 1; 2; 3; 4; 5 ];
+  let popped = List.init 5 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "insertion order among ties" [ 1; 2; 3; 4; 5 ] popped
+
+let test_heap_grow () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 999 downto 0 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "all inserted" 1000 (Heap.length h);
+  let first = snd (Option.get (Heap.pop h)) in
+  Alcotest.(check int) "min first" 0 first
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let heap_props =
+  [
+    QCheck.Test.make ~name:"pop order is sorted" ~count:200
+      QCheck.(list (float_bound_inclusive 1000.))
+      (fun keys ->
+        let h = Heap.create () in
+        List.iteri (fun i k -> Heap.push h k i) keys;
+        let out = Heap.to_sorted_list h in
+        let ks = List.map fst out in
+        List.sort compare ks = ks && List.length out = List.length keys);
+  ]
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_known () =
+  let s = Stats.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check_float_eps 1e-6 "mean" 5.0 (Stats.mean s);
+  check_float_eps 1e-6 "min" 2.0 (Stats.min s);
+  check_float_eps 1e-6 "max" 9.0 (Stats.max s);
+  check_float_eps 1e-6 "sum" 40.0 (Stats.sum s);
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  (* Sample stddev of this classic set is ~2.138. *)
+  check_float_eps 1e-3 "stddev" 2.138 (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "empty mean" 0. (Stats.mean s);
+  check_float "empty stddev" 0. (Stats.stddev s)
+
+let stats_props =
+  [
+    QCheck.Test.make ~name:"merge equals combined" ~count:200
+      QCheck.(pair (list (float_bound_inclusive 100.)) (list (float_bound_inclusive 100.)))
+      (fun (xs, ys) ->
+        let a = Stats.of_list xs and b = Stats.of_list ys in
+        let merged = Stats.merge a b in
+        let combined = Stats.of_list (xs @ ys) in
+        Stats.count merged = Stats.count combined
+        && Float.abs (Stats.mean merged -. Stats.mean combined) < 1e-6
+        && Float.abs (Stats.variance merged -. Stats.variance combined) < 1e-4);
+  ]
+
+(* ---------------- Histogram ---------------- *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  let p50 = Histogram.percentile h 50. in
+  let p99 = Histogram.percentile h 99. in
+  Alcotest.(check bool) "p50 near 500" true (p50 > 450. && p50 < 550.);
+  Alcotest.(check bool) "p99 near 990" true (p99 > 930. && p99 < 1050.)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_float "empty percentile" 0. (Histogram.percentile h 99.)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 10.;
+  Histogram.add b 1000.;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Histogram.count m)
+
+let histogram_props =
+  [
+    QCheck.Test.make ~name:"percentile monotone in p" ~count:100
+      QCheck.(list_of_size Gen.(int_range 1 200) (float_bound_inclusive 1e6))
+      (fun xs ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) xs;
+        let ps = [ 10.; 25.; 50.; 75.; 90.; 99. ] in
+        let vs = List.map (Histogram.percentile h) ps in
+        let rec mono = function
+          | a :: (b :: _ as rest) -> a <= b && mono rest
+          | _ -> true
+        in
+        mono vs);
+    QCheck.Test.make ~name:"single sample ~2% precision" ~count:200
+      QCheck.(float_range 1.0 1e9)
+      (fun x ->
+        let h = Histogram.create () in
+        Histogram.add h x;
+        let v = Histogram.percentile h 50. in
+        Float.abs (v -. x) /. x < 0.04);
+  ]
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m "a";
+  Metrics.add m "b" 2.5;
+  check_float "a" 2. (Metrics.get m "a");
+  check_float "b" 2.5 (Metrics.get m "b");
+  check_float "missing" 0. (Metrics.get m "zzz");
+  Alcotest.(check (list (pair string (float 0.)))) "alist sorted"
+    [ ("a", 2.); ("b", 2.5) ] (Metrics.to_alist m);
+  Metrics.reset m;
+  check_float "reset" 0. (Metrics.get m "a")
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  (* Right-aligned column: "1" is padded to width of "value" (5). *)
+  Alcotest.(check bool) "right aligned" true
+    (String.length (List.nth (String.split_on_char '\n' s) 2) > 6)
+
+let test_table_wrong_row () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "row mismatch" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_csv () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv escape" "a,b\n\"x,y\",plain\n" csv
+
+let test_table_fmt () =
+  Alcotest.(check string) "ratio" "2.13x" (Table.fmt_ratio 2.131);
+  Alcotest.(check string) "pct" "92.3%" (Table.fmt_pct 92.3);
+  Alcotest.(check string) "si K" "12.3K" (Table.fmt_si 12_345.);
+  Alcotest.(check string) "si M" "3.40M" (Table.fmt_si 3_400_000.);
+  Alcotest.(check string) "si plain" "45" (Table.fmt_si 45.)
+
+(* ---------------- Engine ---------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e 30. (fun _ -> log := 3 :: !log);
+  Engine.schedule e 10. (fun _ -> log := 1 :: !log);
+  Engine.schedule e 20. (fun _ -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 30. (Engine.now e)
+
+let test_engine_tie_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e 10. (fun _ -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick eng =
+    incr count;
+    Engine.schedule_after eng 10. tick
+  in
+  Engine.schedule e 0. tick;
+  Engine.run ~until:95. e;
+  Alcotest.(check int) "ten ticks by t=95" 10 !count;
+  check_float "clock parked at until" 95. (Engine.now e)
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  Engine.schedule e 10. (fun eng ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: event in the past")
+        (fun () -> Engine.schedule eng 5. (fun _ -> ())));
+  Engine.run e
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e 10. (fun eng ->
+      log := "a" :: !log;
+      Engine.schedule_after eng 5. (fun _ -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "cascade" [ "a"; "b" ] (List.rev !log);
+  check_float "final clock" 15. (Engine.now e)
+
+let engine_props =
+  [
+    QCheck.Test.make ~name:"events execute in timestamp order" ~count:200
+      QCheck.(list_of_size Gen.(int_range 0 50) (float_bound_inclusive 1e6))
+      (fun times ->
+        let e = Engine.create () in
+        let log = ref [] in
+        List.iter
+          (fun at -> Engine.schedule e at (fun eng -> log := Engine.now eng :: !log))
+          times;
+        Engine.run e;
+        let executed = List.rev !log in
+        executed = List.sort compare times);
+  ]
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let suites =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "arith" `Quick test_time_arith;
+        Alcotest.test_case "pp" `Quick test_time_pp;
+      ] );
+    ( "sim.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "split" `Quick test_prng_split_independent;
+        Alcotest.test_case "copy" `Quick test_prng_copy;
+        Alcotest.test_case "uniform mean" `Quick test_prng_mean;
+        Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      ]
+      @ qsuite prng_props );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "basic" `Quick test_heap_basic;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "grow" `Quick test_heap_grow;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+      ]
+      @ qsuite heap_props );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "known values" `Quick test_stats_known;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+      ]
+      @ qsuite stats_props );
+    ( "sim.histogram",
+      [
+        Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "empty" `Quick test_histogram_empty;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+      ]
+      @ qsuite histogram_props );
+    ("sim.metrics", [ Alcotest.test_case "counters" `Quick test_metrics ]);
+    ( "sim.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "wrong row" `Quick test_table_wrong_row;
+        Alcotest.test_case "csv" `Quick test_table_csv;
+        Alcotest.test_case "formatters" `Quick test_table_fmt;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "tie order" `Quick test_engine_tie_order;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+        Alcotest.test_case "cascade" `Quick test_engine_cascade;
+      ]
+      @ qsuite engine_props );
+  ]

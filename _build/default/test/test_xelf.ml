@@ -1,0 +1,123 @@
+(* Tests for the XELF container format and the file-level offline
+   patching pipeline. *)
+
+open Xc_isa
+
+let test_roundtrip () =
+  let prog =
+    Builder.build [ (Builder.Glibc_small, 0); (Builder.Glibc_wide, 1) ]
+  in
+  Image.set_page_writable prog.image ~page:0 false;
+  let blob = Xelf.serialize prog.image in
+  match Xelf.deserialize blob with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+      Alcotest.(check bytes) "code identical" (Image.code prog.image) (Image.code img);
+      Alcotest.(check int64) "base" (Image.base prog.image) (Image.base img);
+      Alcotest.(check int) "symbols preserved"
+        (List.length (Image.symbols prog.image))
+        (List.length (Image.symbols img));
+      (match Image.find_symbol img "main" with
+      | Some s -> Alcotest.(check int) "main offset" 0 s.offset
+      | None -> Alcotest.fail "main symbol lost");
+      Alcotest.(check bool) "loaded pages clean" true
+        (Image.dirty_pages img = [])
+
+let test_bad_inputs () =
+  (match Xelf.deserialize (Bytes.of_string "GARBAGE") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic must fail");
+  let prog = Builder.build [ (Builder.Glibc_small, 3) ] in
+  let blob = Xelf.serialize prog.image in
+  let truncated = Bytes.sub blob 0 (Bytes.length blob - 10) in
+  match Xelf.deserialize truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated blob must fail"
+
+let test_file_roundtrip () =
+  let prog = Builder.build [ (Builder.Go_stack, 39) ] in
+  let path = Filename.temp_file "xelf" ".bin" in
+  Xelf.save prog.image ~path;
+  (match Xelf.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+      Alcotest.(check bytes) "file roundtrip" (Image.code prog.image) (Image.code img));
+  Sys.remove path;
+  match Xelf.load ~path:"/nonexistent/file.xelf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must fail"
+
+(* The full offline pipeline: build -> save -> load -> patch on disk ->
+   save -> load -> run; the trace must equal the never-serialised run. *)
+let test_offline_pipeline_equivalence () =
+  let wrappers =
+    [ (Builder.Glibc_small, 1); (Builder.Glibc_wide, 2); (Builder.Cancellable, 3) ]
+  in
+  let reference =
+    let prog = Builder.build wrappers in
+    let m = Machine.create prog.image ~entry:prog.entry in
+    ignore (Machine.run m);
+    Machine.syscall_numbers m
+  in
+  let prog = Builder.build wrappers in
+  let path = Filename.temp_file "xelf" ".bin" in
+  Xelf.save prog.image ~path;
+  (* "Ship" the binary, then patch it at rest. *)
+  let table = Xc_abom.Entry_table.create () in
+  let patcher = Xc_abom.Patcher.create table in
+  (match Xelf.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+      let report = Xc_abom.Offline_tool.patch_image ~aggressive:true patcher img in
+      Alcotest.(check int) "all three patched" 3 report.sites_patched;
+      Xelf.save img ~path);
+  (* Load the patched artifact and execute it. *)
+  (match Xelf.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+      let config =
+        Machine.xcontainer_config ~lookup:(Xc_abom.Entry_table.lookup table) ()
+      in
+      let m = Machine.create ~config img ~entry:prog.entry in
+      (match Machine.run m with
+      | Machine.Halted -> ()
+      | Fault msg -> Alcotest.fail msg
+      | Fuel_exhausted -> Alcotest.fail "fuel");
+      Alcotest.(check (list int)) "trace preserved across the pipeline" reference
+        (Machine.syscall_numbers m);
+      List.iter
+        (fun (e : Machine.event) ->
+          Alcotest.(check bool) "all fast after offline patch" true (e.kind = `Fast))
+        (Machine.events m));
+  Sys.remove path
+
+let serialize_prop =
+  QCheck.Test.make ~name:"serialize/deserialize identity" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 6)
+           (pair
+              (oneofl
+                 Builder.[ Glibc_small; Glibc_wide; Go_stack; Cancellable; Exotic ])
+              (int_range 0 300))))
+    (fun wrappers ->
+      let prog = Builder.build wrappers in
+      match Xelf.deserialize (Xelf.serialize prog.image) with
+      | Ok img ->
+          Bytes.equal (Image.code prog.image) (Image.code img)
+          && Image.base img = Image.base prog.image
+          && List.length (Image.symbols img) = List.length (Image.symbols prog.image)
+      | Error _ -> false)
+
+let suites =
+  [
+    ( "isa.xelf",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "offline pipeline equivalence" `Quick
+          test_offline_pipeline_equivalence;
+        QCheck_alcotest.to_alcotest serialize_prop;
+      ] );
+  ]
