@@ -3,16 +3,42 @@
    micro-benchmarks of the simulator's hot paths.
 
    Usage:
-     dune exec bench/main.exe               # all paper experiments
-     dune exec bench/main.exe table1 fig4   # a subset
-     dune exec bench/main.exe micro         # Bechamel suite *)
+     dune exec bench/main.exe                         # all paper experiments
+     dune exec bench/main.exe -- --jobs 4             # same, 4 worker domains
+     dune exec bench/main.exe table1 fig4             # a subset
+     dune exec bench/main.exe smoke                   # tiny-duration sweep
+     dune exec bench/main.exe micro                   # Bechamel suite
+
+   Experiments are independent deterministic simulations, so with
+   --jobs N (or XC_JOBS=N) they fan out over N domains via
+   Xc_sim.Parallel; output is byte-identical to the sequential run.
+   Every run also writes BENCH_sim.json with wall-clock, event count
+   and events/sec per experiment, for tracking simulator performance
+   across commits. *)
 
 module T = Xc_sim.Table
 module Figures = Xcontainers.Figures
 module Config = Xc_platforms.Config
 
+(* All experiment output goes through a domain-local buffer, so an
+   experiment can run on a worker domain and still have its output
+   emitted whole, in submission order: the parallel run is
+   byte-identical to the sequential one by construction. *)
+let out_key = Domain.DLS.new_key (fun () -> Buffer.create 8192)
+let out () = Domain.DLS.get out_key
+let printf fmt = Printf.ksprintf (fun s -> Buffer.add_string (out ()) s) fmt
+let print_string s = Buffer.add_string (out ()) s
+
+let print_endline s =
+  let b = out () in
+  Buffer.add_string b s;
+  Buffer.add_char b '\n'
+
+let print_newline () = Buffer.add_char (out ()) '\n'
+let print_table t = print_string (T.render t)
+
 let section title =
-  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+  printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -48,7 +74,7 @@ let table1 () =
       in
       T.add_row t [ p.name; p.implementation; p.benchmark; fmt_m; fmt_p ])
     (Figures.table1 ());
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
@@ -85,7 +111,7 @@ let fig3 () =
               T.fmt_ratio (get rel_lg);
             ])
         (Figures.relative_throughput amazon);
-      T.print t;
+      print_table t;
       print_newline ())
     Figures.macro_apps
 
@@ -121,7 +147,7 @@ let fig4 () =
       in
       T.add_row t (name :: List.map T.fmt_ratio (first :: rest)))
     (List.hd cols);
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5                                                            *)
@@ -158,7 +184,7 @@ let fig5 () =
           in
           T.add_row t (name :: cells))
         names;
-      T.print t;
+      print_table t;
       print_newline ())
     panels
 
@@ -170,18 +196,18 @@ let fig6 () =
   let r = Figures.fig6 () in
   let t = T.create ~title:"(a) NGINX, 1 worker" [ ("contender", T.Left); ("req/s", T.Right) ] in
   List.iter (fun (n, v) -> T.add_row t [ n; T.fmt_si v ]) r.nginx_1worker;
-  T.print t;
+  print_table t;
   print_newline ();
   let t = T.create ~title:"(b) NGINX, 4 workers" [ ("contender", T.Left); ("req/s", T.Right) ] in
   List.iter (fun (n, v) -> T.add_row t [ n; T.fmt_si v ]) r.nginx_4workers;
-  T.print t;
+  print_table t;
   print_newline ();
   let t =
     T.create ~title:"(c) 2 x PHP + MySQL (total of both PHP servers)"
       [ ("contender", T.Left); ("topology", T.Left); ("req/s", T.Right) ]
   in
   List.iter (fun (c, topo, v) -> T.add_row t [ c; topo; T.fmt_si v ]) r.php_mysql;
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8                                                            *)
@@ -212,7 +238,7 @@ let fig8 () =
       in
       T.add_row t (string_of_int n :: cells))
     counts;
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9                                                            *)
@@ -238,7 +264,7 @@ let fig9 () =
           (match r.bottleneck with `Balancer -> "balancer" | `Backends -> "backends");
         ])
     (Figures.fig9 ());
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Boot times (Section 4.5)                                            *)
@@ -268,7 +294,7 @@ let boot () =
           msf b.total_ns;
         ])
     (Figures.boot_times ());
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: ablation of the X-Container design choices               *)
@@ -323,7 +349,7 @@ let ablation () =
       in
       T.add_row t (Xc_platforms.Ablation.knob_name knob :: cells))
     Xc_platforms.Ablation.all;
-  T.print t;
+  print_table t;
   print_newline ();
   print_endline
     "(throughput relative to the full X-Container; ABOM is the big lever on";
@@ -373,7 +399,7 @@ let fig8sim () =
           Printf.sprintf "%.0fms" (hier.switch_overhead_ns /. 1e6);
         ])
     [ 16; 64; 150; 400 ];
-  T.print t;
+  print_table t;
   print_newline ();
   print_endline
     "(the two-level scheduler batches each container's processes, doing ~3x";
@@ -410,7 +436,7 @@ let security () =
           (if p.needs_guest_meltdown_patch then "yes" else "no");
         ])
     Xcontainers.Security.all;
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: live migration (Section 3.3)                             *)
@@ -447,7 +473,7 @@ let migration () =
           (if r.converged then "yes" else "no (forced stop)");
         ])
     [ 0.; 1_000.; 5_000.; 20_000.; 60_000.; 200_000. ];
-  T.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Extension: clone-based spawning (Section 4.5)                       *)
@@ -470,8 +496,8 @@ let clone () =
   T.add_row t [ "clone: CoW setup"; msf c.page_sharing_setup_ns ];
   T.add_row t [ "clone: eager working set"; msf c.eager_copy_ns ];
   T.add_row t [ "clone: total"; msf c.total_ns ];
-  T.print t;
-  Printf.printf "\nspeedup vs cold boot: %.0fx; vs LightVM boot: %.1fx\n"
+  print_table t;
+  printf "\nspeedup vs cold boot: %.0fx; vs LightVM boot: %.1fx\n"
     (Xcontainers.Cloning.speedup_vs_cold_boot snapshot)
     (Xcontainers.Cloning.speedup_vs_lightvm_boot snapshot)
 
@@ -520,7 +546,7 @@ let macro_extra () =
       T.add_row t
         (name :: List.map (fun c -> T.fmt_ratio (tput c /. base)) configs))
     apps;
-  T.print t;
+  print_table t;
   print_newline ();
   print_endline
     "(normalised to patched Docker; the syscall-dense caches gain the most,";
@@ -535,7 +561,7 @@ let coldstart () =
   section "Serverless cold starts: invocation latency by spawn path (extension)";
   List.iter
     (fun rate ->
-      Printf.printf "arrival rate: %.2f invocations/s (50ms function, 30s keep-alive)\n"
+      printf "arrival rate: %.2f invocations/s (50ms function, 30s keep-alive)\n"
         rate;
       let t =
         T.create
@@ -558,7 +584,7 @@ let coldstart () =
               Printf.sprintf "%.0fms" (r.p99_latency_ns /. 1e6);
             ])
         Xc_apps.Coldstart.all_paths;
-      T.print t;
+      print_table t;
       print_newline ())
     [ 0.02; 0.05; 0.5 ]
 
@@ -610,7 +636,7 @@ let latency () =
           us x.Xc_platforms.Open_loop.p99_ns;
         ])
     [ 0.3; 0.5; 0.7; 0.85; 0.95 ];
-  T.print t;
+  print_table t;
   print_endline
     "(load normalised to Docker's capacity: at 95% of Docker's limit the";
   print_endline
@@ -645,7 +671,7 @@ let build_bench () =
       Config.Xen_container;
       Config.Gvisor;
     ];
-  T.print t;
+  print_table t;
   print_newline ();
   print_endline
     "(fork/exec-heavy work is where X-Containers give a little back - the";
@@ -683,7 +709,7 @@ let density () =
           T.fmt_ratio (Xc_apps.Density.density_gain static r);
         ])
     Xc_apps.Density.all_policies;
-  T.print t;
+  print_table t;
   print_newline ();
   print_endline
     "(20% of containers active; idle ones ballooned to the 64MB floor the";
@@ -702,7 +728,7 @@ let csv () =
     let oc = open_out path in
     output_string oc (T.to_csv t);
     close_out oc;
-    Printf.printf "wrote %s\n" path
+    printf "wrote %s\n" path
   in
   (* Table 1 *)
   let t = T.create [ ("application", T.Left); ("measured", T.Right); ("paper", T.Right) ] in
@@ -907,8 +933,8 @@ let micro () =
   Hashtbl.iter
     (fun name ols ->
       match Bechamel.Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+      | Some [ est ] -> printf "%-40s %12.1f ns/run\n" name est
+      | _ -> printf "%-40s (no estimate)\n" name)
     results
 
 (* ------------------------------------------------------------------ *)
@@ -936,6 +962,147 @@ let all_experiments =
     ("csv", csv);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Smoke: every experiment family at tiny durations, cheap enough for
+   tier-1 (`dune runtest` runs it at --jobs 1 and 2 and compares). *)
+
+module CS = Xc_platforms.Cluster_sim
+module CL = Xc_platforms.Closed_loop
+
+let smoke_experiments =
+  let cheap =
+    [
+      "fig4"; "fig5"; "fig6"; "fig8"; "fig9"; "boot"; "ablation"; "security";
+      "migration"; "clone"; "coldstart"; "build-bench"; "density";
+    ]
+  in
+  let table1_smoke () =
+    section "Smoke: Table 1, 2k invocations";
+    List.iter
+      (fun (m : Xc_apps.Profiles.measurement) ->
+        printf "%-20s %.1f%%\n" m.profile.name (100. *. m.auto_reduction))
+      (Figures.table1 ~invocations:2_000 ())
+  in
+  let macro_smoke () =
+    section "Smoke: closed-loop macro, 20ms simulated";
+    let config = { CL.default_config with duration_ns = 2e7; warmup_ns = 2e6 } in
+    List.iter
+      (fun runtime ->
+        let c = Config.make runtime in
+        let platform = Xc_platforms.Platform.create c in
+        let server = Figures.server_for_public c platform `Nginx in
+        let r = CL.run config server in
+        printf "%-24s %s req/s\n" (Config.name c) (T.fmt_si r.throughput_rps))
+      [ Config.Docker; Config.X_container ]
+  in
+  let latency_smoke () =
+    section "Smoke: open-loop latency, 20ms simulated";
+    let platform = Xc_platforms.Platform.create (Config.make Config.X_container) in
+    let service =
+      Xc_apps.Recipe.service_ns platform Xc_apps.Nginx.static_request_wrk
+    in
+    let server = { CL.units = 4; service_ns = (fun _ -> service); overhead_ns = 0. } in
+    let r =
+      Xc_platforms.Open_loop.run
+        (Xc_platforms.Open_loop.config ~duration_ns:2e7 ~warmup_ns:2e6
+           ~rate_rps:(1e9 /. service) ())
+        server
+    in
+    printf "p50 %.0fus  p99 %.0fus\n" (r.p50_ns /. 1e3) (r.p99_ns /. 1e3)
+  in
+  let fig8sim_smoke () =
+    section "Smoke: cluster scheduler sweep, 20ms simulated, inner fan-out";
+    let tiny mode n =
+      {
+        (CS.default_config mode ~containers:n) with
+        duration_ns = 2e7;
+        warmup_ns = 2e6;
+        client_rtt_ns = 1e6;
+      }
+    in
+    let configs =
+      List.concat_map (fun n -> [ tiny CS.Flat n; tiny CS.Hierarchical n ]) [ 4; 8 ]
+    in
+    let results = CS.run_sweep ~jobs:2 configs in
+    List.iter2
+      (fun (c : CS.config) (r : CS.result) ->
+        printf "%-12s n=%d  %s req/s  %d container switches\n"
+          (match c.mode with CS.Flat -> "flat" | CS.Hierarchical -> "hierarchical")
+          c.containers
+          (T.fmt_si r.throughput_rps)
+          r.container_switches)
+      configs results
+  in
+  List.map (fun n -> (n, List.assoc n all_experiments)) cheap
+  @ [
+      ("table1-smoke", table1_smoke);
+      ("macro-smoke", macro_smoke);
+      ("latency-smoke", latency_smoke);
+      ("fig8sim-smoke", fig8sim_smoke);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The parallel experiment runner and the machine-readable artifact.   *)
+
+type outcome = { name : string; output : string; wall_s : float; events : int }
+
+(* Runs one experiment with its output captured in the domain-local
+   buffer and its event count read off the domain counter (experiments
+   build their engines internally, so the per-domain cumulative counter
+   is the only way to attribute events to the experiment). *)
+let instrument (name, f) () =
+  let buf = out () in
+  Buffer.clear buf;
+  let events0 = Xc_sim.Engine.domain_events () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Xc_sim.Engine.domain_events () - events0 in
+  { name; output = Buffer.contents buf; wall_s; events }
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~jobs ~wall_s outcomes =
+  let oc = open_out "BENCH_sim.json" in
+  let total_events = List.fold_left (fun acc o -> acc + o.events) 0 outcomes in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"xcontainers-bench/1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" wall_s;
+  Printf.fprintf oc "  \"total_events\": %d,\n" total_events;
+  Printf.fprintf oc "  \"events_per_sec\": %.1f,\n"
+    (if wall_s > 0. then float_of_int total_events /. wall_s else 0.);
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i o ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.1f}%s\n"
+        (json_escape o.name) o.wall_s o.events
+        (if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0.)
+        (if i = List.length outcomes - 1 then "" else ","))
+    outcomes;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_experiments ~jobs experiments =
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Xc_sim.Parallel.run ~jobs (List.map instrument experiments) in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  List.iter (fun o -> Stdlib.print_string o.output) outcomes;
+  write_bench_json ~jobs ~wall_s outcomes;
+  Printf.eprintf "[bench] %d experiment(s), %d domain(s), %.2fs wall; wrote BENCH_sim.json\n%!"
+    (List.length outcomes) jobs wall_s
+
 let () =
   (match Xc_cpu.Costs.validate () with
   | Ok () -> ()
@@ -944,20 +1111,51 @@ let () =
       List.iter (fun v -> prerr_endline ("  - " ^ v)) violations;
       exit 1);
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-      (* Everything except the artifact writer (ask for "csv" explicitly). *)
-      List.iter (fun (name, f) -> if name <> "csv" then f ()) all_experiments
-  | names ->
-      List.iter
-        (fun name ->
-          if name = "micro" then micro ()
-          else begin
-            match List.assoc_opt name all_experiments with
-            | Some f -> f ()
+  let jobs = ref (Xc_sim.Parallel.default_jobs ()) in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> jobs := n
+    | Some _ | None ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" s;
+        exit 2
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+        set_jobs n;
+        parse acc rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "bench: --jobs expects an argument\n";
+        exit 2
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let names = parse [] args in
+  let lookup name =
+    if name = "micro" then Some [ ("micro", micro) ]
+    else if name = "smoke" then Some smoke_experiments
+    else
+      match List.assoc_opt name all_experiments with
+      | Some f -> Some [ (name, f) ]
+      | None -> None
+  in
+  let experiments =
+    match names with
+    | [] ->
+        (* Everything except the artifact writer (ask for "csv" explicitly). *)
+        List.filter (fun (name, _) -> name <> "csv") all_experiments
+    | names ->
+        List.concat_map
+          (fun name ->
+            match lookup name with
+            | Some es -> es
             | None ->
-                Printf.eprintf "unknown experiment %S; available: %s micro\n" name
+                Printf.eprintf "unknown experiment %S; available: %s micro smoke\n"
+                  name
                   (String.concat " " (List.map fst all_experiments));
-                exit 2
-          end)
-        names
+                exit 2)
+          names
+  in
+  run_experiments ~jobs:!jobs experiments

@@ -435,6 +435,63 @@ let profile_binary_cmd =
        ~doc:"Run a XELF binary under the X-Kernel and print its syscall profile.")
     Term.(const run $ file $ iterations)
 
+(* ---------------- xc sweep ---------------- *)
+
+let sweep_cmd =
+  let containers =
+    Arg.(value & opt (list int) [ 16; 64; 150 ]
+        & info [ "containers" ] ~doc:"Comma-separated container counts.")
+  in
+  let jobs =
+    Arg.(value & opt int (Xc_sim.Parallel.default_jobs ())
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains for the sweep fan-out (default \\$XC_JOBS or 1).")
+  in
+  let duration_ms =
+    Arg.(value & opt float 300.
+        & info [ "duration" ] ~doc:"Simulated duration per point, in ms.")
+  in
+  let run counts jobs duration_ms =
+    let module CS = Xc_platforms.Cluster_sim in
+    let point mode n =
+      { (CS.default_config mode ~containers:n) with duration_ns = duration_ms *. 1e6 }
+    in
+    let configs =
+      List.concat_map (fun n -> [ point CS.Flat n; point CS.Hierarchical n ]) counts
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = CS.run_sweep ~jobs configs in
+    let wall = Unix.gettimeofday () -. t0 in
+    let t =
+      Xc_sim.Table.create
+        [
+          ("containers", Xc_sim.Table.Right);
+          ("scheduler", Xc_sim.Table.Left);
+          ("req/s", Xc_sim.Table.Right);
+          ("p99", Xc_sim.Table.Right);
+          ("container switches", Xc_sim.Table.Right);
+        ]
+    in
+    List.iter2
+      (fun (c : CS.config) (r : CS.result) ->
+        Xc_sim.Table.add_row t
+          [
+            string_of_int c.containers;
+            (match c.mode with CS.Flat -> "flat" | CS.Hierarchical -> "hierarchical");
+            Xc_sim.Table.fmt_si r.throughput_rps;
+            Printf.sprintf "%.1fms" (r.p99_latency_ns /. 1e6);
+            string_of_int r.container_switches;
+          ])
+      configs results;
+    Xc_sim.Table.print t;
+    Printf.printf "%d points in %.2fs wall with %d domain(s)\n"
+      (List.length configs) wall jobs
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Figure 8 scheduler sweep, fanned out over worker domains.")
+    Term.(const run $ containers $ jobs $ duration_ms)
+
 (* ---------------- xc experiments ---------------- *)
 
 let experiments_cmd =
@@ -557,4 +614,5 @@ let () =
             profile_binary_cmd;
             experiments_cmd;
             run_app_cmd;
+            sweep_cmd;
           ]))

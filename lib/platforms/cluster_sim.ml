@@ -287,3 +287,5 @@ let run config =
     busy_fraction =
       !busy /. (float_of_int config.pcpus *. (measure_end +. config.client_rtt_ns));
   }
+
+let run_sweep ?jobs configs = Xc_sim.Parallel.map ?jobs run configs

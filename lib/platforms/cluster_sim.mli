@@ -55,3 +55,10 @@ type result = {
 }
 
 val run : config -> result
+
+val run_sweep : ?jobs:int -> config list -> result list
+(** Run many independent configurations (a Figure 8 sweep: per-count,
+    per-mode points), fanned out over [jobs] worker domains via
+    {!Xc_sim.Parallel}.  Results come back in input order and are
+    identical to [List.map run] — each point has its own engine and
+    PRNG, so the fan-out cannot perturb them. *)

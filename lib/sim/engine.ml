@@ -1,23 +1,68 @@
-type t = { mutable clock : Time_ns.t; queue : (t -> unit) Heap.t }
+type t = {
+  mutable clock : Time_ns.t;
+  queue : (t -> unit) Heap.t;
+  (* Fast lane for events scheduled at exactly the current timestamp
+     (immediate wake-ups, zero-delay cascades): a plain FIFO, no
+     O(log n) heap traffic.  Invariant: every lane entry is due at
+     [clock], so the lane must drain before the clock may advance. *)
+  lane : (t -> unit) Queue.t;
+  mutable executed : int;
+  (* The calling domain's cumulative event counter, captured at
+     [create] so the hot path pays one load instead of a DLS lookup. *)
+  domain_counter : int ref;
+}
 
-let create () = { clock = Time_ns.zero; queue = Heap.create () }
+let domain_events_key = Domain.DLS.new_key (fun () -> ref 0)
+let domain_events () = !(Domain.DLS.get domain_events_key)
+
+let create () =
+  {
+    clock = Time_ns.zero;
+    queue = Heap.create ();
+    lane = Queue.create ();
+    executed = 0;
+    domain_counter = Domain.DLS.get domain_events_key;
+  }
+
 let now t = t.clock
+let events_executed t = t.executed
 
 let schedule t at f =
-  if Time_ns.compare at t.clock < 0 then
-    invalid_arg "Engine.schedule: event in the past";
-  Heap.push t.queue at f
+  let c = Time_ns.compare at t.clock in
+  if c < 0 then invalid_arg "Engine.schedule: event in the past"
+  else if c = 0 then Queue.add f t.lane
+  else Heap.push t.queue at f
 
 let schedule_after t delay f = schedule t (Time_ns.add t.clock delay) f
-let pending t = Heap.length t.queue
+let pending t = Heap.length t.queue + Queue.length t.lane
+
+let exec t f =
+  t.executed <- t.executed + 1;
+  incr t.domain_counter;
+  f t;
+  true
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, f) ->
-      t.clock <- at;
-      f t;
-      true
+  if Queue.is_empty t.lane then begin
+    match Heap.pop t.queue with
+    | None -> false
+    | Some (at, f) ->
+        t.clock <- at;
+        exec t f
+  end
+  else begin
+    (* A heap event still due at the current timestamp was scheduled
+       before anything in the lane (scheduling at [clock] always goes
+       to the lane), so FIFO-among-equal-timestamps spans both. *)
+    match Heap.peek t.queue with
+    | Some (at, _) when Time_ns.compare at t.clock <= 0 -> (
+        match Heap.pop t.queue with
+        | Some (at, f) ->
+            t.clock <- at;
+            exec t f
+        | None -> false)
+    | Some _ | None -> exec t (Queue.pop t.lane)
+  end
 
 let run ?until t =
   match until with
@@ -25,8 +70,14 @@ let run ?until t =
   | Some stop ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.queue with
-        | Some (at, _) when Time_ns.compare at stop <= 0 -> ignore (step t)
+        let next =
+          if not (Queue.is_empty t.lane) then Some t.clock
+          else match Heap.peek t.queue with
+            | Some (at, _) -> Some at
+            | None -> None
+        in
+        match next with
+        | Some at when Time_ns.compare at stop <= 0 -> ignore (step t)
         | Some _ | None ->
             t.clock <- Time_ns.max t.clock stop;
             continue := false

@@ -3,7 +3,12 @@
     A classic event-list simulator: callbacks scheduled at absolute
     simulated times, executed in timestamp order (insertion order among
     ties, so runs are deterministic).  The throughput experiments (Figures
-    3, 6, 8, 9) run client/server loops on top of this engine. *)
+    3, 6, 8, 9) run client/server loops on top of this engine.
+
+    Events scheduled at exactly the current timestamp take a FIFO fast
+    lane that bypasses the heap entirely; ordering is unchanged (events
+    already queued for the same timestamp still run first, since they
+    were scheduled earlier). *)
 
 type t
 
@@ -21,6 +26,16 @@ val schedule_after : t -> Time_ns.t -> (t -> unit) -> unit
 
 val pending : t -> int
 (** Number of events not yet executed. *)
+
+val events_executed : t -> int
+(** Events executed by this engine so far — the numerator of the
+    events-per-second throughput metric the bench harness reports. *)
+
+val domain_events : unit -> int
+(** Cumulative events executed in the {e current domain} by every
+    engine created in it.  The bench harness reads this before and
+    after an experiment to attribute event counts per experiment even
+    when the engines are internal to the experiment's code. *)
 
 val step : t -> bool
 (** Execute the next event; [false] if the queue was empty. *)

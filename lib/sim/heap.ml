@@ -1,74 +1,127 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Dual-array layout: the keys live in a flat [float array] (unboxed
+   float storage, no per-entry record allocation), the FIFO tie-break
+   sequence numbers in an [int array], and the payloads in an
+   ['a array].  The value array stays physically empty until the first
+   push materialises it with a real element as filler, so no [Obj.magic]
+   dummy is ever needed.  Sifting moves a hole instead of swapping:
+   one write per level per array. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;  (* length 0 until the first push *)
   mutable size : int;
   mutable next_seq : int;
 }
 
 let create ?(capacity = 64) () =
-  { data = Array.make (Stdlib.max 1 capacity) (Obj.magic 0); size = 0; next_seq = 0 }
+  let cap = Stdlib.max 1 capacity in
+  {
+    keys = Array.make cap 0.;
+    seqs = Array.make cap 0;
+    values = [||];
+    size = 0;
+    next_seq = 0;
+  }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-(* [before a b] decides heap order: smaller key first, then insertion order. *)
-let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* [v] doubles as the filler for fresh slots. *)
+let ensure_room t v =
+  if Array.length t.values = 0 then t.values <- Array.make (Array.length t.keys) v
+  else if t.size = Array.length t.keys then begin
+    let cap = 2 * t.size in
+    let keys = Array.make cap 0. in
+    Array.blit t.keys 0 keys 0 t.size;
+    t.keys <- keys;
+    let seqs = Array.make cap 0 in
+    Array.blit t.seqs 0 seqs 0 t.size;
+    t.seqs <- seqs;
+    let values = Array.make cap v in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
+  end
 
-let grow t =
-  let data = Array.make (2 * Array.length t.data) t.data.(0) in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+(* Move the hole at [i] up while the pushed (key, seq) sorts before the
+   parent, then drop the element in. *)
+let sift_up t i key seq v =
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pk = t.keys.(parent) in
+    if key < pk || (key = pk && seq < t.seqs.(parent)) then begin
+      t.keys.(!i) <- pk;
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.values.(!i) <- t.values.(parent);
+      i := parent
     end
-  end
+    else moving := false
+  done;
+  t.keys.(!i) <- key;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- v
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+(* Move the hole at the root down along the smaller-child path until
+   (key, seq) fits, then drop the element in. *)
+let sift_down t key seq v =
+  let n = t.size in
+  let i = ref 0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= n then moving := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < n
+          && (t.keys.(r) < t.keys.(l)
+             || (t.keys.(r) = t.keys.(l) && t.seqs.(r) < t.seqs.(l)))
+        then r
+        else l
+      in
+      if t.keys.(c) < key || (t.keys.(c) = key && t.seqs.(c) < seq) then begin
+        t.keys.(!i) <- t.keys.(c);
+        t.seqs.(!i) <- t.seqs.(c);
+        t.values.(!i) <- t.values.(c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  t.keys.(!i) <- key;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- v
 
 let push t key value =
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- { key; seq = t.next_seq; value };
-  t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  ensure_room t value;
+  let i = t.size in
+  t.size <- i + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  sift_up t i key seq value
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.value)
+    let key = t.keys.(0) and v = t.values.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then sift_down t t.keys.(n) t.seqs.(n) t.values.(n);
+    Some (key, v)
   end
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
 let clear t = t.size <- 0
 
 let to_sorted_list t =
   let copy =
     {
-      data = Array.sub t.data 0 (Stdlib.max 1 t.size);
+      keys = Array.copy t.keys;
+      seqs = Array.copy t.seqs;
+      values = Array.copy t.values;
       size = t.size;
       next_seq = t.next_seq;
     }

@@ -1,10 +1,14 @@
 (** Binary min-heap keyed by [float] priorities.
 
     The event queue of the discrete-event engine is the hottest data
-    structure in the simulator, so this is a plain array-based binary heap
-    specialised to float keys (no comparator closure on the hot path).
-    Ties are broken by insertion order so the simulation is deterministic
-    even when many events share a timestamp. *)
+    structure in the simulator, so this is an array-based binary heap
+    specialised to float keys (no comparator closure on the hot path)
+    stored as parallel arrays: an unboxed [float array] of keys, an
+    [int array] of insertion sequence numbers, and an ['a array] of
+    payloads — no per-entry record allocation, and no placeholder
+    element is ever fabricated.  Ties are broken by insertion order so
+    the simulation is deterministic even when many events share a
+    timestamp. *)
 
 type 'a t
 

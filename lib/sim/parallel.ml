@@ -1,0 +1,46 @@
+let default_jobs () =
+  match Sys.getenv_opt "XC_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = List.length thunks in
+  if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let thunks = Array.of_list thunks in
+    (* Each slot is written by exactly one worker (indices are claimed
+       from the atomic counter), and [Domain.join] publishes the writes
+       before the merge reads them. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Done (thunks.(i) ())
+          with e -> Raised (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        worker ()
+      end
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's first worker. *)
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Done v) -> v
+         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

@@ -1,0 +1,41 @@
+(** Deterministic fan-out of independent jobs over OCaml 5 domains.
+
+    Every experiment the benchmark harness regenerates (Table 1, the
+    figures, the scalability sweeps) is an independent deterministic
+    simulation, so the natural unit of host parallelism is the whole
+    experiment: a [unit -> 'a] thunk.  [run] fans a list of such thunks
+    out across a fixed-size pool of worker domains and merges the
+    results back {e in submission order}, so a parallel run is
+    indistinguishable from a sequential one apart from wall-clock time.
+
+    Jobs must be independent: they may not share mutable state (each
+    experiment builds its own engine, PRNG and platform, so the
+    simulator's modules satisfy this by construction). *)
+
+val default_jobs : unit -> int
+(** The [XC_JOBS] environment variable if set to a positive integer,
+    else [1] (sequential). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: what the host can usefully
+    run in parallel. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] evaluates every thunk and returns the results in
+    the order the thunks were given.
+
+    With [jobs <= 1] (the default is {!default_jobs}, normally [1])
+    everything runs in the calling domain, in list order, with no
+    domain spawned — seed-for-seed identical to a plain [List.map].
+    With [jobs > 1], [min jobs (length thunks) - 1] worker domains are
+    spawned and the calling domain works alongside them; thunks are
+    claimed from a shared counter, so submission order is the
+    steady-state completion order but never the result order, which is
+    always submission order.
+
+    If a thunk raises, the exception of the {e lowest-indexed} failed
+    thunk is re-raised (with its backtrace) after all workers have
+    drained, so the failure is deterministic too. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)

@@ -11,4 +11,5 @@ let () =
    @ Test_os_net_state.suites @ Test_epoll_console.suites @ Test_httpd.suites
    @ Test_channel.suites
    @ Test_fuzz.suites @ Test_apps_extra.suites @ Test_apps_eleven.suites
-   @ Test_substrate_extra.suites @ Test_inventory.suites @ Test_shapes.suites)
+   @ Test_substrate_extra.suites @ Test_inventory.suites @ Test_shapes.suites
+   @ Test_parallel.suites)

@@ -1,0 +1,92 @@
+(* Tests for the domain-pool experiment runner (Xc_sim.Parallel): the
+   fan-out must be invisible — same results, same order, same values as
+   the sequential run — since the bench harness relies on that to keep
+   parallel output byte-identical. *)
+
+open Xc_sim
+module CS = Xc_platforms.Cluster_sim
+module Config = Xc_platforms.Config
+
+let test_order_preserved () =
+  let squares = Parallel.run ~jobs:4 (List.init 20 (fun i () -> i * i)) in
+  Alcotest.(check (list int))
+    "submission order" (List.init 20 (fun i -> i * i)) squares
+
+let test_more_jobs_than_work () =
+  Alcotest.(check (list int)) "jobs > work" [ 7 ] (Parallel.run ~jobs:8 [ (fun () -> 7) ]);
+  Alcotest.(check (list int)) "no work" [] (Parallel.run ~jobs:4 [])
+
+let test_sequential_default () =
+  (* jobs=1 must run in the calling domain, in order: side effects on
+     shared state are then well-defined, exactly like List.map. *)
+  let log = ref [] in
+  let r =
+    Parallel.run ~jobs:1
+      (List.init 5 (fun i () ->
+           log := i :: !log;
+           i))
+  in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3; 4 ] r;
+  Alcotest.(check (list int)) "in-order effects" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  match
+    Parallel.run ~jobs:3 (List.init 6 (fun i () -> if i = 3 then raise (Boom i)))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 3 -> ()
+
+let test_map () =
+  Alcotest.(check (list int))
+    "map" [ 2; 4; 6 ]
+    (Parallel.map ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* ---------------- determinism under fan-out ---------------- *)
+
+(* One Cluster_sim config and one Figures.fig3 point, run through
+   Parallel.run ~jobs:4 and sequentially: results must be identical —
+   each job owns its engine and PRNG, so domains cannot perturb it. *)
+
+let tiny_cluster mode =
+  {
+    (CS.default_config mode ~containers:8) with
+    duration_ns = 4e7;
+    warmup_ns = 5e6;
+    (* The default 25ms client RTT would outlast this tiny window. *)
+    client_rtt_ns = 1e6;
+  }
+
+let test_cluster_sim_deterministic () =
+  let configs = [ tiny_cluster CS.Flat; tiny_cluster CS.Hierarchical ] in
+  let sequential = List.map CS.run configs in
+  let parallel = CS.run_sweep ~jobs:4 configs in
+  Alcotest.(check bool) "identical results" true (sequential = parallel);
+  Alcotest.(check bool)
+    "throughput positive" true
+    (List.for_all (fun (r : CS.result) -> r.throughput_rps > 0.) parallel)
+
+let test_fig3_deterministic () =
+  let point () = Xcontainers.Figures.fig3 Config.Amazon_ec2 Xcontainers.Figures.Redis_app in
+  let sequential = point () in
+  match Parallel.run ~jobs:4 [ point; point ] with
+  | [ a; b ] ->
+      Alcotest.(check bool) "parallel replicas agree" true (a = b);
+      Alcotest.(check bool) "parallel equals sequential" true (a = sequential)
+  | _ -> Alcotest.fail "wrong arity"
+
+let suites =
+  [
+    ( "sim.parallel",
+      [
+        Alcotest.test_case "order preserved" `Quick test_order_preserved;
+        Alcotest.test_case "more jobs than work" `Quick test_more_jobs_than_work;
+        Alcotest.test_case "sequential default" `Quick test_sequential_default;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "map" `Quick test_map;
+        Alcotest.test_case "cluster_sim deterministic" `Quick
+          test_cluster_sim_deterministic;
+        Alcotest.test_case "fig3 deterministic" `Quick test_fig3_deterministic;
+      ] );
+  ]

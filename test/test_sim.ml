@@ -145,6 +145,30 @@ let test_heap_clear () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+(* Regression: the seed heap initialised its array with [Obj.magic 0]
+   and [grow] read [data.(0)] before any push; a heap created at
+   capacity 1 and grown many times must stay well-formed. *)
+let test_heap_capacity_one_grow_drain () =
+  let h = Heap.create ~capacity:1 () in
+  for i = 99 downto 0 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "all inserted" 100 (Heap.length h);
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, v) ->
+        drained := (k, v) :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.) int)))
+    "sorted drain"
+    (List.init 100 (fun i -> (float_of_int i, i)))
+    (List.rev !drained);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
 let heap_props =
   [
     QCheck.Test.make ~name:"pop order is sorted" ~count:200
@@ -155,6 +179,38 @@ let heap_props =
         let out = Heap.to_sorted_list h in
         let ks = List.map fst out in
         List.sort compare ks = ks && List.length out = List.length keys);
+    (* Ops: [Some k] pushes key [k] (drawn from a tiny pool so ties are
+       frequent), [None] pops.  The heap must agree at every pop with a
+       stable-insertion reference list — non-decreasing keys AND FIFO
+       among equal keys, the tie-break Engine correctness depends on —
+       and [to_sorted_list] must agree with the leftover reference. *)
+    QCheck.Test.make ~name:"interleaved push/pop matches stable reference"
+      ~count:300
+      QCheck.(list (option (int_range 0 5)))
+      (fun ops ->
+        let h = Heap.create ~capacity:1 () in
+        let reference = ref [] in
+        let seq = ref 0 in
+        let ok = ref true in
+        List.iter
+          (function
+            | Some k ->
+                let key = float_of_int k in
+                Heap.push h key !seq;
+                let rec insert = function
+                  | (k', s') :: rest when k' <= key -> (k', s') :: insert rest
+                  | rest -> (key, !seq) :: rest
+                in
+                reference := insert !reference;
+                incr seq
+            | None -> (
+                match (Heap.pop h, !reference) with
+                | None, [] -> ()
+                | Some (k, v), (k', s') :: rest when k = k' && v = s' ->
+                    reference := rest
+                | _ -> ok := false))
+          ops;
+        !ok && Heap.to_sorted_list h = !reference);
   ]
 
 (* ---------------- Stats ---------------- *)
@@ -330,6 +386,59 @@ let test_engine_cascade () =
   Alcotest.(check (list string)) "cascade" [ "a"; "b" ] (List.rev !log);
   check_float "final clock" 15. (Engine.now e)
 
+(* The same-timestamp fast lane: events scheduled at exactly [now] must
+   still run after events already queued for that timestamp (they were
+   scheduled earlier) and in FIFO order among themselves. *)
+let test_engine_now_fast_lane () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e 10. (fun eng ->
+      log := "first" :: !log;
+      Engine.schedule eng 10. (fun _ -> log := "lane1" :: !log);
+      Engine.schedule eng 10. (fun eng ->
+          log := "lane2" :: !log;
+          Engine.schedule_after eng 0. (fun _ -> log := "lane3" :: !log)));
+  Engine.schedule e 10. (fun _ -> log := "second" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "heap-before-lane, lane FIFO"
+    [ "first"; "second"; "lane1"; "lane2"; "lane3" ]
+    (List.rev !log);
+  check_float "clock" 10. (Engine.now e)
+
+let test_engine_events_executed () =
+  let e = Engine.create () in
+  Alcotest.(check int) "fresh" 0 (Engine.events_executed e);
+  Engine.schedule e 5. (fun eng ->
+      Engine.schedule_after eng 0. (fun _ -> ());
+      Engine.schedule_after eng 1. (fun _ -> ()));
+  Alcotest.(check int) "pending counts lane and heap" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "three executed" 3 (Engine.events_executed e);
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending e)
+
+let test_engine_domain_events () =
+  let before = Engine.domain_events () in
+  let e = Engine.create () in
+  for i = 1 to 7 do
+    Engine.schedule e (float_of_int i) (fun _ -> ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "domain counter advanced by 7" (before + 7)
+    (Engine.domain_events ())
+
+let test_engine_until_fast_lane () =
+  (* A zero-delay event scheduled at the horizon must still run when
+     the horizon is inclusive. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e 10. (fun eng ->
+      log := 1 :: !log;
+      Engine.schedule_after eng 0. (fun _ -> log := 2 :: !log));
+  Engine.run ~until:10. e;
+  Alcotest.(check (list int)) "both ran" [ 1; 2 ] (List.rev !log);
+  check_float "clock at until" 10. (Engine.now e)
+
 let engine_props =
   [
     QCheck.Test.make ~name:"events execute in timestamp order" ~count:200
@@ -372,6 +481,8 @@ let suites =
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "grow" `Quick test_heap_grow;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "capacity-1 grow/drain" `Quick
+          test_heap_capacity_one_grow_drain;
       ]
       @ qsuite heap_props );
     ( "sim.stats",
@@ -402,6 +513,10 @@ let suites =
         Alcotest.test_case "run until" `Quick test_engine_until;
         Alcotest.test_case "past raises" `Quick test_engine_past_raises;
         Alcotest.test_case "cascade" `Quick test_engine_cascade;
+        Alcotest.test_case "now fast lane" `Quick test_engine_now_fast_lane;
+        Alcotest.test_case "events executed" `Quick test_engine_events_executed;
+        Alcotest.test_case "domain events" `Quick test_engine_domain_events;
+        Alcotest.test_case "until fast lane" `Quick test_engine_until_fast_lane;
       ]
       @ qsuite engine_props );
   ]
