@@ -14,7 +14,12 @@
    Xc_sim.Parallel; output is byte-identical to the sequential run.
    Every run also writes BENCH_sim.json with wall-clock, event count
    and events/sec per experiment, for tracking simulator performance
-   across commits. *)
+   across commits.
+
+   --trace[=FILE] additionally records an Xc_trace event trace of
+   every experiment (one track per experiment, Chrome trace-event JSON
+   or CSV by extension, default BENCH_trace.json).  The trace is
+   deterministic and byte-identical at any --jobs, like stdout. *)
 
 module T = Xc_sim.Table
 module Figures = Xcontainers.Figures
@@ -1044,21 +1049,31 @@ let smoke_experiments =
 (* ------------------------------------------------------------------ *)
 (* The parallel experiment runner and the machine-readable artifact.   *)
 
-type outcome = { name : string; output : string; wall_s : float; events : int }
+type outcome = {
+  name : string;
+  output : string;
+  wall_s : float;
+  events : int;
+  trace : Xc_trace.Trace.event list;
+  trace_dropped : int;
+}
 
 (* Runs one experiment with its output captured in the domain-local
    buffer and its event count read off the domain counter (experiments
    build their engines internally, so the per-domain cumulative counter
-   is the only way to attribute events to the experiment). *)
+   is the only way to attribute events to the experiment).  The trace
+   capture gives each experiment its own buffer and cursor starting at
+   0, so the per-experiment track is independent of which domain — and
+   after what history — ran it. *)
 let instrument (name, f) () =
   let buf = out () in
   Buffer.clear buf;
   let events0 = Xc_sim.Engine.domain_events () in
   let t0 = Unix.gettimeofday () in
-  f ();
+  let (), trace, trace_dropped = Xc_trace.Trace.capture f in
   let wall_s = Unix.gettimeofday () -. t0 in
   let events = Xc_sim.Engine.domain_events () - events0 in
-  { name; output = Buffer.contents buf; wall_s; events }
+  { name; output = Buffer.contents buf; wall_s; events; trace; trace_dropped }
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1072,11 +1087,35 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~jobs ~wall_s outcomes =
+(* Run metadata: which commit produced this artifact.  Best-effort —
+   "unknown" outside a git checkout (e.g. the dune sandbox of a
+   distant future); never fails the run. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let write_bench_json ~jobs ~trace_out ~wall_s outcomes =
   let oc = open_out "BENCH_sim.json" in
   let total_events = List.fold_left (fun acc o -> acc + o.events) 0 outcomes in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"xcontainers-bench/1\",\n";
+  Printf.fprintf oc "  \"schema\": \"xcontainers-bench/2\",\n";
+  Printf.fprintf oc "  \"schema_version\": 2,\n";
+  Printf.fprintf oc "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
+  (* The closed-loop default seed: the one PRNG root every stochastic
+     experiment derives from (see docs/PERF.md). *)
+  Printf.fprintf oc "  \"seed\": %d,\n"
+    Xc_platforms.Closed_loop.default_config.seed;
+  Printf.fprintf oc "  \"trace\": %s,\n"
+    (match trace_out with
+    | None -> "null"
+    | Some path -> Printf.sprintf "\"%s\"" (json_escape path));
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" wall_s;
   Printf.fprintf oc "  \"total_events\": %d,\n" total_events;
@@ -1094,12 +1133,24 @@ let write_bench_json ~jobs ~wall_s outcomes =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let run_experiments ~jobs experiments =
+let run_experiments ~jobs ~trace_out experiments =
+  if trace_out <> None then Xc_trace.Trace.enable ();
   let t0 = Unix.gettimeofday () in
   let outcomes = Xc_sim.Parallel.run ~jobs (List.map instrument experiments) in
   let wall_s = Unix.gettimeofday () -. t0 in
   List.iter (fun o -> Stdlib.print_string o.output) outcomes;
-  write_bench_json ~jobs ~wall_s outcomes;
+  write_bench_json ~jobs ~trace_out ~wall_s outcomes;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      let tracks = List.map (fun o -> (o.name, o.trace)) outcomes in
+      let dropped =
+        List.fold_left (fun acc o -> acc + o.trace_dropped) 0 outcomes
+      in
+      Xc_trace.Export.to_file ~dropped ~path tracks;
+      let total = List.fold_left (fun a (_, t) -> a + List.length t) 0 tracks in
+      Printf.eprintf "[bench] wrote %s (%d trace events, %d dropped)\n%!" path
+        total dropped);
   Printf.eprintf "[bench] %d experiment(s), %d domain(s), %.2fs wall; wrote BENCH_sim.json\n%!"
     (List.length outcomes) jobs wall_s
 
@@ -1111,14 +1162,24 @@ let () =
       List.iter (fun v -> prerr_endline ("  - " ^ v)) violations;
       exit 1);
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs = ref (Xc_sim.Parallel.default_jobs ()) in
+  (* A bad XC_JOBS fails loudly up front (even if --jobs overrides it
+     later): a typo silently running sequentially is worse than an
+     error. *)
+  let jobs =
+    match Xc_sim.Parallel.jobs_from_env () with
+    | Ok n -> ref n
+    | Error msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        exit 2
+  in
   let set_jobs s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> jobs := n
-    | Some _ | None ->
+    match Xc_sim.Parallel.jobs_of_string s with
+    | Ok n -> jobs := n
+    | Error _ ->
         Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" s;
         exit 2
   in
+  let trace_out = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest ->
@@ -1130,6 +1191,12 @@ let () =
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
         set_jobs (String.sub arg 7 (String.length arg - 7));
         parse acc rest
+    | "--trace" :: rest ->
+        trace_out := Some "BENCH_trace.json";
+        parse acc rest
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+        trace_out := Some (String.sub arg 8 (String.length arg - 8));
+        parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in
   let names = parse [] args in
@@ -1139,7 +1206,13 @@ let () =
     else
       match List.assoc_opt name all_experiments with
       | Some f -> Some [ (name, f) ]
-      | None -> None
+      | None -> (
+          (* Smoke variants ("macro-smoke", "fig8sim-smoke", ...) are
+             addressable individually, e.g. for the tier-1 trace
+             determinism rule. *)
+          match List.assoc_opt name smoke_experiments with
+          | Some f -> Some [ (name, f) ]
+          | None -> None)
   in
   let experiments =
     match names with
@@ -1152,10 +1225,14 @@ let () =
             match lookup name with
             | Some es -> es
             | None ->
-                Printf.eprintf "unknown experiment %S; available: %s micro smoke\n"
+                Printf.eprintf "unknown experiment %S; available: %s micro smoke %s\n"
                   name
-                  (String.concat " " (List.map fst all_experiments));
+                  (String.concat " " (List.map fst all_experiments))
+                  (String.concat " "
+                     (List.filter
+                        (fun n -> not (List.mem_assoc n all_experiments))
+                        (List.map fst smoke_experiments)));
                 exit 2)
           names
   in
-  run_experiments ~jobs:!jobs experiments
+  run_experiments ~jobs:!jobs ~trace_out:!trace_out experiments

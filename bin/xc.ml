@@ -443,7 +443,7 @@ let sweep_cmd =
         & info [ "containers" ] ~doc:"Comma-separated container counts.")
   in
   let jobs =
-    Arg.(value & opt int (Xc_sim.Parallel.default_jobs ())
+    Arg.(value & opt (some int) None
         & info [ "jobs"; "j" ]
             ~doc:"Worker domains for the sweep fan-out (default \\$XC_JOBS or 1).")
   in
@@ -452,6 +452,15 @@ let sweep_cmd =
         & info [ "duration" ] ~doc:"Simulated duration per point, in ms.")
   in
   let run counts jobs duration_ms =
+    let jobs =
+      match jobs with
+      | Some n when n >= 1 -> n
+      | Some n -> exit_err (Printf.sprintf "--jobs expects a positive integer, got %d" n)
+      | None -> (
+          match Xc_sim.Parallel.jobs_from_env () with
+          | Ok n -> n
+          | Error msg -> exit_err msg)
+    in
     let module CS = Xc_platforms.Cluster_sim in
     let point mode n =
       { (CS.default_config mode ~containers:n) with duration_ns = duration_ms *. 1e6 }
@@ -513,15 +522,16 @@ let experiments_cmd =
 
 (* ---------------- xc run-app ---------------- *)
 
+let app_table =
+  [
+    ("nginx", `Nginx); ("memcached", `Memcached); ("redis", `Redis);
+    ("etcd", `Etcd); ("mongodb", `Mongo); ("postgres", `Postgres);
+    ("rabbitmq", `Rabbitmq); ("mysql", `Mysql); ("fluentd", `Fluentd);
+    ("elasticsearch", `Elasticsearch); ("influxdb", `Influxdb);
+  ]
+
 let app_conv =
-  let table =
-    [
-      ("nginx", `Nginx); ("memcached", `Memcached); ("redis", `Redis);
-      ("etcd", `Etcd); ("mongodb", `Mongo); ("postgres", `Postgres);
-      ("rabbitmq", `Rabbitmq); ("mysql", `Mysql); ("fluentd", `Fluentd);
-      ("elasticsearch", `Elasticsearch); ("influxdb", `Influxdb);
-    ]
-  in
+  let table = app_table in
   let parse s =
     match List.assoc_opt (String.lowercase_ascii s) table with
     | Some app -> Ok app
@@ -586,6 +596,124 @@ let run_app_cmd =
        ~doc:"Closed-loop benchmark of any modelled application on any runtime.")
     Term.(const run $ app_arg $ runtime $ connections)
 
+(* ---------------- xc trace ---------------- *)
+
+let unixbench_workloads =
+  [
+    ("syscalls", Xc_apps.Unixbench.Syscall_rate);
+    ("fig4", Xc_apps.Unixbench.Syscall_rate);
+    ("execl", Xc_apps.Unixbench.Execl);
+    ("file-copy", Xc_apps.Unixbench.File_copy);
+    ("pipe", Xc_apps.Unixbench.Pipe_throughput);
+    ("context-switch", Xc_apps.Unixbench.Context_switching);
+    ("process-creation", Xc_apps.Unixbench.Process_creation);
+  ]
+
+let trace_run_cmd =
+  let exp_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"EXPERIMENT"
+            ~doc:"A UnixBench loop (syscalls, execl, file-copy, pipe, \
+                  context-switch, process-creation) or an application \
+                  (nginx, memcached, redis, ...).")
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let iterations =
+    Arg.(value & opt int 100
+        & info [ "iterations"; "n" ] ~doc:"Loop iterations (UnixBench workloads).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"FILE"
+            ~doc:"Write the trace: Chrome trace-event JSON, or CSV when FILE \
+                  ends in .csv.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~doc:"Names per category in the summary.")
+  in
+  let run exp runtime cloud iterations out top =
+    let module Trace = Xc_trace.Trace in
+    let module Export = Xc_trace.Export in
+    let exp = String.lowercase_ascii exp in
+    let config = Xc_platforms.Config.make ~cloud runtime in
+    let platform = Xc_platforms.Platform.create config in
+    let workload =
+      match List.assoc_opt exp unixbench_workloads with
+      | Some test -> `Unixbench test
+      | None -> (
+          match List.assoc_opt exp app_table with
+          | Some app -> `App app
+          | None ->
+              exit_err
+                (Printf.sprintf "unknown experiment %S; one of: %s" exp
+                   (String.concat ", "
+                      (List.map fst unixbench_workloads @ List.map fst app_table))))
+    in
+    Trace.enable ();
+    let (), events, dropped =
+      Trace.capture (fun () ->
+          match workload with
+          | `Unixbench test ->
+              for _ = 1 to iterations do
+                ignore (Xc_apps.Unixbench.per_iteration_ns platform test)
+              done
+          | `App app ->
+              let server = Xcontainers.Figures.server_for_public config platform app in
+              ignore
+                (Xc_platforms.Closed_loop.run
+                   {
+                     Xc_platforms.Closed_loop.default_config with
+                     duration_ns = 2e8;
+                     warmup_ns = 2e7;
+                   }
+                   server))
+    in
+    Trace.disable ();
+    let label = exp ^ "/" ^ Xc_platforms.Config.name config in
+    print_string (Export.render_summary ~top events);
+    if dropped > 0 then
+      Printf.printf "(ring full: %d oldest events dropped)\n" dropped;
+    match out with
+    | Some path ->
+        Export.to_file ~dropped ~path [ (label, events) ];
+        Printf.printf "wrote %s (%d events)\n" path (List.length events)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Trace one workload and print its per-category cost summary.")
+    Term.(const run $ exp_arg $ runtime $ cloud $ iterations $ out $ top)
+
+let trace_diff_cmd =
+  let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
+  let b_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"B") in
+  let run a b =
+    match (Xc_trace.Export.of_file a, Xc_trace.Export.of_file b) with
+    | Ok ea, Ok eb ->
+        print_string
+          (Xc_trace.Diff.render ~a_label:(Filename.basename a)
+             ~b_label:(Filename.basename b) ~a:ea ~b:eb ())
+    | Error e, _ | _, Error e -> exit_err e
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Explain the cost delta between two trace files, by category.")
+    Term.(const run $ a_arg $ b_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Record execution traces and diff them: who wins and why.")
+    [ trace_run_cmd; trace_diff_cmd ]
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -615,4 +743,5 @@ let () =
             experiments_cmd;
             run_app_cmd;
             sweep_cmd;
+            trace_cmd;
           ]))

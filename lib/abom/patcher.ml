@@ -35,12 +35,17 @@ let count t outcome =
         Hashtbl.add t.counts outcome r;
         r
   in
-  incr cell
+  incr cell;
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.instant ~cat:"abom" ~name:(outcome_to_string outcome) ()
 
 (* One atomic compare-and-swap store: at most eight bytes. *)
 let cmpxchg t image ~off insn =
   assert (Insn.length insn <= 8);
   t.cmpxchg_ops <- t.cmpxchg_ops + 1;
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.counter ~cat:"abom" ~name:"cmpxchg"
+      (float_of_int t.cmpxchg_ops);
   let buf = Codec.encode insn in
   match Image.write image ~off buf ~wp_override:true with
   | Ok () -> ()

@@ -26,6 +26,13 @@ val test_name : test -> string
 val all_micro : test list
 (** Every test except [Syscall_rate] and [Iperf] (Figure 5's panels). *)
 
+val per_iteration_ns : Xc_platforms.Platform.t -> test -> float
+(** Cost of one loop iteration in nanoseconds — the quantity {!rate}
+    inverts.  With tracing enabled, one call emits the iteration's full
+    span decomposition (syscall entries, mode switches, in-kernel
+    work), which makes this the Figure 4 trace-diff workload.
+    [Iperf] has no iteration and returns [0.]. *)
+
 val rate : Xc_platforms.Platform.t -> test -> float
 (** Single-copy score: iterations (or, for [Iperf], bits) per second. *)
 

@@ -9,7 +9,11 @@ let id t = t.id
 
 let charge t ?label ns =
   t.busy_ns <- t.busy_ns +. ns;
-  match label with Some l -> Xc_sim.Metrics.incr t.metrics l | None -> ()
+  (match label with Some l -> Xc_sim.Metrics.incr t.metrics l | None -> ());
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"cpu"
+      ~name:(match label with Some l -> l | None -> "busy")
+      ns
 
 let busy_ns t = t.busy_ns
 let count t label = Xc_sim.Metrics.get t.metrics label

@@ -9,3 +9,21 @@ let equal (a : t) (b : t) = a = b
 
 let of_stack_pointer sp =
   if Int64.compare sp 0L < 0 then Guest_kernel else Guest_user
+
+(* Mode transitions are the single most frequent traced event (two per
+   trapped syscall), so their names are precomputed: recording one
+   must not allocate. *)
+let index = function Hypervisor -> 0 | Guest_kernel -> 1 | Guest_user -> 2
+
+let switch_names =
+  let modes = [| Hypervisor; Guest_kernel; Guest_user |] in
+  Array.init 3 (fun i ->
+      Array.init 3 (fun j ->
+          to_string modes.(i) ^ "->" ^ to_string modes.(j)))
+
+let switch_name ~from_ ~to_ = switch_names.(index from_).(index to_)
+
+let record_switch ?at ~from_ ~to_ () =
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.instant ?at ~cat:"mode-switch"
+      ~name:(switch_name ~from_ ~to_) ()

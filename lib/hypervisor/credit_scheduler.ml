@@ -25,6 +25,8 @@ let vcpu_count t = List.length t.entries
 let credits_per_period = 300
 
 let accounting_tick t =
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.instant ~cat:"sched.credit" ~name:"accounting-tick" ();
   let total_weight = List.fold_left (fun acc e -> acc + e.weight) 0 t.entries in
   if total_weight > 0 then
     List.iter
@@ -53,13 +55,20 @@ let pick_next t ~pcpu:_ =
   end
 
 let run_slice _t vcpu ~ns =
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"sched.credit" ~name:"slice" ns;
   Vcpu.add_runtime vcpu ns;
   (* Debit one credit per 100us of execution (300 credits ~ 30ms). *)
   Vcpu.consume_credit vcpu (int_of_float (ns /. 100_000.))
 
 let switch_cost_ns ~runnable_vcpus =
-  Xc_cpu.Costs.context_switch_base_ns
-  +. (Xc_cpu.Costs.runqueue_ns_per_task *. float_of_int runnable_vcpus)
+  let ns =
+    Xc_cpu.Costs.context_switch_base_ns
+    +. (Xc_cpu.Costs.runqueue_ns_per_task *. float_of_int runnable_vcpus)
+  in
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"ctx-switch" ~name:"vcpu" ns;
+  ns
 
 let fairness_ratio t =
   let runtimes = List.map (fun e -> Vcpu.runtime_ns e.vcpu) t.entries in

@@ -19,9 +19,19 @@ let notify t ~port =
   if not (List.mem port t.pending) then t.pending <- port :: t.pending;
   (* Sender marks the shared pending bitmap; cost is a cache-line write
      plus, for hypervisor delivery, the notifying hypercall. *)
-  match t.delivery with
-  | Via_hypervisor -> Xc_cpu.Costs.hypercall_ns
-  | Direct_user_mode -> Xc_cpu.Costs.cache_line_refill_ns
+  let ns =
+    match t.delivery with
+    | Via_hypervisor -> Xc_cpu.Costs.hypercall_ns
+    | Direct_user_mode -> Xc_cpu.Costs.cache_line_refill_ns
+  in
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"evtchn"
+      ~name:
+        (match t.delivery with
+        | Via_hypervisor -> "notify-hypercall"
+        | Direct_user_mode -> "notify-direct")
+      ns;
+  ns
 
 let pending t = List.sort compare t.pending
 
@@ -38,6 +48,14 @@ let deliver_pending t handler =
       t.delivered <- t.delivered + 1;
       handler port)
     ports;
-  per_event *. float_of_int (List.length ports)
+  let ns = per_event *. float_of_int (List.length ports) in
+  if Xc_trace.Trace.enabled () && ports <> [] then
+    Xc_trace.Trace.span ~cat:"evtchn"
+      ~name:
+        (match t.delivery with
+        | Via_hypervisor -> "deliver-via-hypervisor"
+        | Direct_user_mode -> "deliver-direct")
+      ns;
+  ns
 
 let delivered_count t = t.delivered

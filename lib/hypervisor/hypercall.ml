@@ -62,7 +62,16 @@ let invoke t kind =
   (match Hashtbl.find_opt t kind with
   | Some r -> incr r
   | None -> Hashtbl.add t kind (ref 1));
-  cost_ns kind
+  let ns = cost_ns kind in
+  if Xc_trace.Trace.enabled () then begin
+    Xc_trace.Trace.span ~cat:"hypercall" ~name:(name kind) ns;
+    (* A hypercall is a guest-kernel <-> hypervisor round trip. *)
+    Xc_cpu.Mode.record_switch ~from_:Xc_cpu.Mode.Guest_kernel
+      ~to_:Xc_cpu.Mode.Hypervisor ();
+    Xc_cpu.Mode.record_switch ~from_:Xc_cpu.Mode.Hypervisor
+      ~to_:Xc_cpu.Mode.Guest_kernel ()
+  end;
+  ns
 
 let invocations t kind =
   match Hashtbl.find_opt t kind with Some r -> !r | None -> 0

@@ -257,6 +257,9 @@ let step t : exit_reason option =
           if call_off >= 0 then begin
             match Image.insn_at t.image call_off with
             | Insn.Call_abs _, _ ->
+                if Xc_trace.Trace.enabled () then
+                  Xc_trace.Trace.instant ~cat:"abom"
+                    ~name:"invalid-opcode-fixup" ();
                 t.rip <- call_off;
                 None
             | _ -> Some (Fault (Printf.sprintf "invalid opcode 0x%02x" b))

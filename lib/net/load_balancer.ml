@@ -20,7 +20,8 @@ let haproxy_syscalls = 14.
 
 let balancer_cost_ns mode ~syscall_entry_ns ~request_bytes ~response_bytes =
   let copy_cost n = 0.05 *. float_of_int n in
-  match mode with
+  let ns =
+    match mode with
   | Haproxy ->
       (haproxy_syscalls *. (syscall_entry_ns +. 350.))
       +. copy_cost (request_bytes + response_bytes)
@@ -31,10 +32,14 @@ let balancer_cost_ns mode ~syscall_entry_ns ~request_bytes ~response_bytes =
          rewrite - IPVS NAT keeps most of the per-packet stack cost,
          which is why the paper measures only +12% over HAProxy. *)
       (4. *. 2200.) +. copy_cost (request_bytes + response_bytes)
-  | Ipvs_direct_routing ->
-      (* Forward path only: requests are rewritten towards a backend;
-         responses never come back through the balancer. *)
-      1000. +. copy_cost request_bytes
+    | Ipvs_direct_routing ->
+        (* Forward path only: requests are rewritten towards a backend;
+           responses never come back through the balancer. *)
+        1000. +. copy_cost request_bytes
+  in
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"net.lb" ~name:(mode_to_string mode) ns;
+  ns
 
 let pick_backend ~round_robin ~backends =
   if backends <= 0 then invalid_arg "pick_backend: no backends";

@@ -17,6 +17,14 @@ let hop_cost_ns hop ~bytes_len =
   | Nested_exit -> Costs.nested_io_ns
   | Wire link -> Link.transfer_ns link ~bytes_len
 
+let hop_name = function
+  | Native_stack -> "native-stack"
+  | Iptables_forward -> "iptables"
+  | Split_driver -> "split-driver"
+  | Gvisor_netstack -> "gvisor-netstack"
+  | Nested_exit -> "nested-exit"
+  | Wire _ -> "wire"
+
 let path_cost_ns hops ~bytes_len =
   List.fold_left (fun acc hop -> acc +. hop_cost_ns hop ~bytes_len) 0. hops
 
@@ -26,4 +34,12 @@ let packets_for ~bytes_len ~mss =
 let message_cost_ns hops ~bytes_len ~mss =
   let n = packets_for ~bytes_len ~mss in
   let per_packet_len = Stdlib.min bytes_len mss in
+  (* One span per hop covering all [n] packets, so the traced total
+     equals the charged total without one event per packet. *)
+  if Xc_trace.Trace.enabled () then
+    List.iter
+      (fun hop ->
+        Xc_trace.Trace.span ~cat:"net.hop" ~name:(hop_name hop)
+          (float_of_int n *. hop_cost_ns hop ~bytes_len:per_packet_len))
+      hops;
   float_of_int n *. path_cost_ns hops ~bytes_len:per_packet_len

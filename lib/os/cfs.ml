@@ -21,6 +21,8 @@ let pick_next t =
            first rest)
 
 let run_slice _t p ~ns =
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"sched.cfs" ~name:"slice" ns;
   Process.add_cpu_time p ns;
   Process.add_vruntime p ns
 
@@ -32,6 +34,8 @@ let min_vruntime t =
         (Process.vruntime first) rest
 
 let wake t p =
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.instant ~cat:"sched.cfs" ~name:"wake" ();
   Process.set_state p Process.Runnable;
   Process.set_vruntime p (min_vruntime t);
   add t p

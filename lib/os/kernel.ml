@@ -125,22 +125,45 @@ type op =
   | Exec_op
   | Wait_op
 
+let op_name = function
+  | Cheap nr -> Syscall_nr.name nr
+  | File_read _ -> "read"
+  | File_write _ -> "write"
+  | Pipe_read _ -> "pipe-read"
+  | Pipe_write _ -> "pipe-write"
+  | Socket_send _ -> "send"
+  | Socket_recv _ -> "recv"
+  | Epoll -> "epoll_wait"
+  | Accept_op -> "accept4"
+  | Open_op -> "open"
+  | Stat_op -> "stat"
+  | Fork_op -> "fork"
+  | Exec_op -> "execve"
+  | Wait_op -> "wait4"
+
 (* Lock traffic and TLB-shootdown IPIs only exist with SMP enabled. *)
 let smp_tax t = if t.config.smp then 30. else 0.
 
 let syscall_work_ns t op =
-  match op with
-  | Cheap _ -> Costs.cheap_syscall_work_ns
-  | File_read n | File_write n -> Vfs.copy_cost_ns ~bytes_len:n +. smp_tax t
-  | Pipe_read n | Pipe_write n -> Pipe.transfer_cost_ns ~bytes_len:n +. smp_tax t
-  | Socket_send n | Socket_recv n -> 350. +. (0.05 *. float_of_int n) +. smp_tax t
-  | Epoll -> 180. +. smp_tax t
-  | Accept_op -> 420. +. smp_tax t
-  | Open_op -> 260. +. smp_tax t
-  | Stat_op -> 180. +. smp_tax t
-  | Fork_op -> fork_cost_ns t ~pages:Costs.process_pages
-  | Exec_op -> exec_cost_ns t
-  | Wait_op -> 150.
+  let ns =
+    match op with
+    | Cheap _ -> Costs.cheap_syscall_work_ns
+    | File_read n | File_write n -> Vfs.copy_cost_ns ~bytes_len:n +. smp_tax t
+    | Pipe_read n | Pipe_write n ->
+        Pipe.transfer_cost_ns ~bytes_len:n +. smp_tax t
+    | Socket_send n | Socket_recv n ->
+        350. +. (0.05 *. float_of_int n) +. smp_tax t
+    | Epoll -> 180. +. smp_tax t
+    | Accept_op -> 420. +. smp_tax t
+    | Open_op -> 260. +. smp_tax t
+    | Stat_op -> 180. +. smp_tax t
+    | Fork_op -> fork_cost_ns t ~pages:Costs.process_pages
+    | Exec_op -> exec_cost_ns t
+    | Wait_op -> 150.
+  in
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"syscall-work" ~name:(op_name op) ns;
+  ns
 
 let context_switch_cost_ns t =
   let runnable = Cfs.runnable_count t.scheduler in
@@ -149,4 +172,10 @@ let context_switch_cost_ns t =
     +. (Costs.runqueue_ns_per_task *. float_of_int runnable)
     +. Costs.cr3_switch_ns +. Costs.tlb_refill_user_ns
   in
-  if t.config.kernel_global then base else base +. Costs.tlb_refill_kernel_ns
+  let ns =
+    if t.config.kernel_global then base
+    else base +. Costs.tlb_refill_kernel_ns
+  in
+  if Xc_trace.Trace.enabled () then
+    Xc_trace.Trace.span ~cat:"ctx-switch" ~name:"process" ns;
+  ns

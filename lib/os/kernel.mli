@@ -78,6 +78,10 @@ type op =
   | Exec_op
   | Wait_op
 
+val op_name : op -> string
+(** Stable low-cardinality label (the syscall's name) used for trace
+    spans and the trace-diff per-name breakdown. *)
+
 val syscall_work_ns : t -> op -> float
 
 val context_switch_cost_ns : t -> float

@@ -69,7 +69,10 @@ let run_states config states =
           let now = Engine.now engine in
           if sent_at >= measure_start && now <= measure_end then begin
             st.completed <- st.completed + 1;
-            Histogram.add st.latencies (now -. sent_at)
+            Histogram.add st.latencies (now -. sent_at);
+            if Xc_trace.Trace.enabled () then
+              Xc_trace.Trace.span ~at:sent_at ~cat:"request"
+                ~name:"closed-loop" (now -. sent_at)
           end;
           client_loop st engine)
     end

@@ -152,7 +152,10 @@ let run config =
         let now' = Engine.now engine in
         if b.sent_at >= measure_start && now' <= measure_end then begin
           incr completed;
-          Histogram.add latencies (now' -. b.sent_at)
+          Histogram.add latencies (now' -. b.sent_at);
+          if Xc_trace.Trace.enabled () then
+            Xc_trace.Trace.span ~at:b.sent_at ~cat:"request" ~name:"cluster"
+              (now' -. b.sent_at)
         end;
         (* Closed loop: the client immediately sends the next request. *)
         if now' < measure_end then send_request engine b.container)
@@ -231,9 +234,11 @@ let run config =
         | Some b ->
             let now = Engine.now engine in
             (* Switch-cost accounting. *)
+            let switch_kind = ref "" in
             let switch_cost =
               if core.last_container <> b.container then begin
                 incr container_switches;
+                switch_kind := "container";
                 (* The bookkeeping term scales with the task population
                    this scheduler manages (CFS statistics, cgroup walks,
                    load-balancer scans touch per-task state): all 4N
@@ -246,10 +251,14 @@ let run config =
               end
               else if core.last_process <> b.process then begin
                 incr process_switches;
+                switch_kind := "process";
                 config.process_switch_ns
               end
               else 0.
             in
+            if switch_cost > 0. && Xc_trace.Trace.enabled () then
+              Xc_trace.Trace.span ~at:now ~cat:"ctx-switch" ~name:!switch_kind
+                switch_cost;
             core.last_container <- b.container;
             core.last_process <- b.process;
             let slice =

@@ -21,6 +21,15 @@ val effective_entry_ns : Config.t -> abom_coverage:float -> float
     invocations go through patched sites (Table 1 gives per-application
     coverage).  Ignores coverage on non-X-Container platforms. *)
 
+val entry_mechanism : Config.t -> string
+(** The entry path's trace label, e.g. ["syscall-trap+kpti"] for a
+    patched Docker host or ["xen-pv-forward"] for a PV guest.  (The
+    X-Container blend traces as ["abom-call"] / ["xc-forwarded"]
+    spans; this function returns the forwarded label.) *)
+
+val interrupt_mechanism : Config.t -> string
+(** Trace label of the interrupt delivery path. *)
+
 val interrupt_ns : Config.t -> float
 (** Cost of delivering one interrupt/event to the container's kernel. *)
 

@@ -15,6 +15,13 @@ let incr t name = add t name 1.
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0.
 let reset t = Hashtbl.reset t
 
+let merge a b =
+  let t = create () in
+  let absorb src = Hashtbl.iter (fun name r -> add t name !r) src in
+  absorb a;
+  absorb b;
+  t
+
 let to_alist t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -14,6 +14,12 @@ val add : t -> string -> float -> unit
 val get : t -> string -> float
 (** [0.] for a counter never touched. *)
 
+val merge : t -> t -> t
+(** Fresh registry with the counter-wise sum of both arguments (a
+    counter missing on one side counts as [0.]); the arguments are
+    not modified.  Used to combine per-domain registries after a
+    parallel run. *)
+
 val reset : t -> unit
 val to_alist : t -> (string * float) list
 (** Sorted by name. *)

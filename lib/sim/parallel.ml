@@ -1,17 +1,25 @@
-let default_jobs () =
+let jobs_of_string s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "jobs must be a positive integer, got %d" n)
+  | None -> Error (Printf.sprintf "jobs must be a positive integer, got %S" s)
+
+let jobs_from_env () =
   match Sys.getenv_opt "XC_JOBS" with
-  | None -> 1
+  | None -> Ok 1
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> 1)
+      match jobs_of_string s with
+      | Ok _ as ok -> ok
+      | Error msg -> Error ("XC_JOBS: " ^ msg))
+
+let default_jobs () = match jobs_from_env () with Ok n -> n | Error _ -> 1
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
 type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
 
-let run ?jobs thunks =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+let run_plain ~jobs thunks =
   let n = List.length thunks in
   if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
   else begin
@@ -41,6 +49,23 @@ let run ?jobs thunks =
          | Some (Done v) -> v
          | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
+  end
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if not (Xc_trace.Trace.enabled ()) then run_plain ~jobs thunks
+  else begin
+    (* Trace events recorded on a worker domain would die with the
+       domain, and which worker runs which thunk is racy.  So each
+       thunk records into its own fresh capture (even at jobs=1, so
+       the artifact is identical at any job count) and the calling
+       domain replays the captures in submission order afterwards. *)
+    let wrapped = List.map (fun f () -> Xc_trace.Trace.capture f) thunks in
+    let results = run_plain ~jobs wrapped in
+    List.iter
+      (fun (_, evs, dropped) -> Xc_trace.Trace.inject ~dropped evs)
+      results;
+    List.map (fun (v, _, _) -> v) results
   end
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

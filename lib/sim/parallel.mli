@@ -12,9 +12,19 @@
     experiment builds its own engine, PRNG and platform, so the
     simulator's modules satisfy this by construction). *)
 
+val jobs_of_string : string -> (int, string) result
+(** Parse a worker-domain count: a positive integer.  [0], negatives
+    and non-numeric input return [Error] with a one-line message —
+    CLIs print it and exit nonzero. *)
+
+val jobs_from_env : unit -> (int, string) result
+(** [XC_JOBS] via {!jobs_of_string}; [Ok 1] when unset.  Entry points
+    should call this and fail loudly on [Error] rather than silently
+    falling back. *)
+
 val default_jobs : unit -> int
-(** The [XC_JOBS] environment variable if set to a positive integer,
-    else [1] (sequential). *)
+(** {!jobs_from_env} with [Error] collapsed to [1] — for library
+    contexts that have no way to report a bad environment. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: what the host can usefully
@@ -35,7 +45,14 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 
     If a thunk raises, the exception of the {e lowest-indexed} failed
     thunk is re-raised (with its backtrace) after all workers have
-    drained, so the failure is deterministic too. *)
+    drained, so the failure is deterministic too.
+
+    When [Xc_trace.Trace.enabled], each thunk records trace events
+    into its own capture and the calling domain replays the captures
+    in submission order after the pool drains — at {e every} job
+    count, including 1 — so the trace artifact of a parallel run is
+    byte-identical to a sequential one.  (Each thunk's synthetic
+    cursor therefore restarts at 0.) *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)

@@ -1,0 +1,115 @@
+type row = {
+  cat : string;
+  a_count : int;
+  a_ns : float;
+  b_count : int;
+  b_ns : float;
+}
+
+let delta r = r.b_ns -. r.a_ns
+
+type report = { rows : row list; a_total_ns : float; b_total_ns : float }
+
+(* Aggregate one side by an arbitrary key. *)
+let totals_by key evs =
+  let tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0. in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let ns = match ev.kind with Trace.Span -> ev.dur | _ -> 0. in
+      total := !total +. ns;
+      match Hashtbl.find_opt tbl (key ev) with
+      | Some r ->
+          let c, t = !r in
+          r := (c + 1, t +. ns)
+      | None -> Hashtbl.add tbl (key ev) (ref (1, ns)))
+    evs;
+  (tbl, !total)
+
+let rows_of ~key ~a ~b =
+  let ta, a_total = totals_by key a in
+  let tb, b_total = totals_by key b in
+  let keys =
+    let seen = Hashtbl.create 16 in
+    let collect tbl =
+      Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) tbl
+    in
+    collect ta;
+    collect tb;
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  in
+  let lookup tbl k =
+    match Hashtbl.find_opt tbl k with Some r -> !r | None -> (0, 0.)
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let a_count, a_ns = lookup ta k in
+        let b_count, b_ns = lookup tb k in
+        { cat = k; a_count; a_ns; b_count; b_ns })
+      keys
+    |> List.sort (fun x y ->
+           match compare (Float.abs (delta y)) (Float.abs (delta x)) with
+           | 0 -> compare x.cat y.cat
+           | c -> c)
+  in
+  (rows, a_total, b_total)
+
+let diff ~a ~b =
+  let rows, a_total_ns, b_total_ns = rows_of ~key:(fun ev -> ev.Trace.cat) ~a ~b in
+  { rows; a_total_ns; b_total_ns }
+
+let names_in ~cat ~a ~b =
+  let only evs = List.filter (fun (ev : Trace.event) -> ev.cat = cat) evs in
+  let rows, _, _ = rows_of ~key:(fun ev -> ev.Trace.name) ~a:(only a) ~b:(only b) in
+  rows
+
+let abs_delta_total report =
+  List.fold_left (fun acc r -> acc +. Float.abs (delta r)) 0. report.rows
+
+let dominant report = match report.rows with [] -> None | r :: _ -> Some r
+
+let dominant_share report =
+  match dominant report with
+  | None -> 0.
+  | Some r ->
+      let total = abs_delta_total report in
+      if total <= 0. then 0. else Float.abs (delta r) /. total
+
+let render ?(a_label = "A") ?(b_label = "B") ~a ~b () =
+  let report = diff ~a ~b in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "trace diff: A = %s, B = %s\n" a_label b_label;
+  Printf.bprintf buf "%-18s %10s %12s %10s %12s %12s\n" "category"
+    "A events" "A total" "B events" "B total" "delta(B-A)";
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "%-18s %10d %12s %10d %12s %12s\n" r.cat r.a_count
+        (Export.fmt_ns r.a_ns) r.b_count (Export.fmt_ns r.b_ns)
+        (Export.fmt_ns (delta r)))
+    report.rows;
+  Printf.bprintf buf "total traced span time: A %s, B %s"
+    (Export.fmt_ns report.a_total_ns)
+    (Export.fmt_ns report.b_total_ns);
+  (if report.b_total_ns > 0. && report.a_total_ns > 0. then
+     let ratio = report.a_total_ns /. report.b_total_ns in
+     if ratio >= 1. then Printf.bprintf buf " (B %.1fx cheaper)" ratio
+     else Printf.bprintf buf " (A %.1fx cheaper)" (1. /. ratio));
+  Buffer.add_char buf '\n';
+  (match dominant report with
+  | None -> Buffer.add_string buf "(no events on either side)\n"
+  | Some r when Float.abs (delta r) <= 0. ->
+      Buffer.add_string buf "traces agree in every category\n"
+  | Some r ->
+      Printf.bprintf buf
+        "dominant delta: %s (%.0f%% of the absolute per-category delta)\n"
+        r.cat
+        (100. *. dominant_share report);
+      let detail = names_in ~cat:r.cat ~a ~b in
+      List.iter
+        (fun n ->
+          Printf.bprintf buf "  %-24s %10d %12s %10d %12s %12s\n" n.cat
+            n.a_count (Export.fmt_ns n.a_ns) n.b_count (Export.fmt_ns n.b_ns)
+            (Export.fmt_ns (delta n)))
+        detail);
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Trace diff: explain the cost delta between two runs.
+
+    Given two traces of the same workload on different configurations
+    (e.g. the Fig 4 syscall loop on Docker vs on an X-Container), the
+    diff aggregates span time per category on each side and ranks
+    categories by how much of the end-to-end delta they explain —
+    mechanically answering "who wins and why" for every figure. *)
+
+type row = {
+  cat : string;
+  a_count : int;  (** events (all kinds) in this category, side A *)
+  a_ns : float;  (** total span time in this category, side A *)
+  b_count : int;
+  b_ns : float;
+}
+
+val delta : row -> float
+(** [b_ns -. a_ns]: positive means B spends more. *)
+
+type report = {
+  rows : row list;  (** sorted by |delta| descending, then category *)
+  a_total_ns : float;
+  b_total_ns : float;
+}
+
+val diff : a:Trace.event list -> b:Trace.event list -> report
+
+val names_in : cat:string -> a:Trace.event list -> b:Trace.event list -> row list
+(** Same aggregation keyed by event {e name}, restricted to one
+    category — the per-mechanism detail under a category row. *)
+
+val dominant : report -> row option
+(** The category explaining the largest share of the absolute delta
+    ([None] on an empty report). *)
+
+val dominant_share : report -> float
+(** |delta| of {!dominant} over the sum of |delta| across categories;
+    [0.] when the traces agree everywhere. *)
+
+val render :
+  ?a_label:string ->
+  ?b_label:string ->
+  a:Trace.event list ->
+  b:Trace.event list ->
+  unit ->
+  string
+(** Full human-readable diff: per-category table, totals line, the
+    dominant category with its share, and a per-name breakdown of that
+    category. *)

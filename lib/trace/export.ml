@@ -1,0 +1,283 @@
+type track = string * Trace.event list
+
+let fmt_ns ns =
+  let a = Float.abs ns in
+  if a < 1e3 then Printf.sprintf "%.0fns" ns
+  else if a < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.3fs" (ns /. 1e9)
+
+(* Categories and names are low-cardinality identifiers we control;
+   sanitising (rather than quoting) keeps both formats line-oriented
+   and trivially parseable. *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with '"' | '\\' | ',' | '\n' | '\r' -> ';' | _ -> c)
+    s
+
+(* ---------------- Chrome trace-event JSON ---------------- *)
+
+let chrome_event buf ~tid (ev : Trace.event) =
+  let us v = v /. 1e3 in
+  match ev.kind with
+  | Trace.Span ->
+      Printf.bprintf buf
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f,\"dur\":%.6f}"
+        tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts) (us ev.dur)
+  | Trace.Instant ->
+      Printf.bprintf buf
+        "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f}"
+        tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts)
+  | Trace.Counter ->
+      Printf.bprintf buf
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f,\"args\":{\"value\":%.6f}}"
+        tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts) ev.value
+
+let to_chrome ?(dropped = 0) tracks =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit f =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    f ()
+  in
+  List.iteri
+    (fun i (name, _) ->
+      emit (fun () ->
+          Printf.bprintf buf
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+            (i + 1) (sanitize name)))
+    tracks;
+  List.iteri
+    (fun i (_, evs) ->
+      List.iter (fun ev -> emit (fun () -> chrome_event buf ~tid:(i + 1) ev)) evs)
+    tracks;
+  Printf.bprintf buf
+    "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":%d}}\n" dropped;
+  Buffer.contents buf
+
+(* ---------------- CSV ---------------- *)
+
+let csv_header = "track,kind,cat,name,ts_ns,dur_ns,value"
+
+let to_csv tracks =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (track, evs) ->
+      let track = sanitize track in
+      List.iter
+        (fun (ev : Trace.event) ->
+          Printf.bprintf buf "%s,%s,%s,%s,%.3f,%.3f,%.6f\n" track
+            (Trace.kind_to_string ev.kind)
+            (sanitize ev.cat) (sanitize ev.name) ev.ts ev.dur ev.value)
+        evs)
+    tracks;
+  Buffer.contents buf
+
+let to_file ?dropped ~path tracks =
+  let data =
+    if Filename.check_suffix path ".csv" then to_csv tracks
+    else to_chrome ?dropped tracks
+  in
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc
+
+(* ---------------- Parsing (own formats only) ---------------- *)
+
+let lines_of s = String.split_on_char '\n' s
+
+let events_of_csv s =
+  let parse_line lineno line acc =
+    if line = "" || line = csv_header then Ok acc
+    else
+      match String.split_on_char ',' line with
+      | [ _track; kind; cat; name; ts; dur; value ] -> (
+          let kind =
+            match kind with
+            | "span" -> Some Trace.Span
+            | "instant" -> Some Trace.Instant
+            | "counter" -> Some Trace.Counter
+            | _ -> None
+          in
+          match
+            (kind, float_of_string_opt ts, float_of_string_opt dur,
+             float_of_string_opt value)
+          with
+          | Some kind, Some ts, Some dur, Some value ->
+              Ok ({ Trace.kind; cat; name; ts; dur; value } :: acc)
+          | _ -> Error (Printf.sprintf "csv line %d: bad field" lineno))
+      | _ -> Error (Printf.sprintf "csv line %d: expected 7 fields" lineno)
+  in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line acc with
+        | Ok acc -> go (lineno + 1) acc rest
+        | Error _ as e -> e)
+  in
+  go 1 [] (lines_of s)
+
+(* Naive field extraction over the one-event-per-line JSON this module
+   itself writes; no general JSON parser needed (or allowed — no new
+   dependencies). *)
+let find_string_field line key =
+  let pat = Printf.sprintf "\"%s\":\"" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let start = i + plen in
+      match String.index_from_opt line start '"' with
+      | Some stop -> Some (String.sub line start (stop - start))
+      | None -> None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let find_float_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let start = i + plen in
+      let stop = ref start in
+      while
+        !stop < llen
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let events_of_chrome s =
+  let parse_line lineno line acc =
+    match find_string_field line "ph" with
+    | None | Some "M" -> Ok acc
+    | Some ph -> (
+        let kind =
+          match ph with
+          | "X" -> Some Trace.Span
+          | "i" -> Some Trace.Instant
+          | "C" -> Some Trace.Counter
+          | _ -> None
+        in
+        match kind with
+        | None -> Ok acc
+        | Some kind -> (
+            let cat = Option.value ~default:"" (find_string_field line "cat") in
+            let name =
+              Option.value ~default:"" (find_string_field line "name")
+            in
+            match find_float_field line "ts" with
+            | None -> Error (Printf.sprintf "json line %d: missing ts" lineno)
+            | Some ts_us ->
+                let dur =
+                  match find_float_field line "dur" with
+                  | Some d -> d *. 1e3
+                  | None -> 0.
+                in
+                let value =
+                  Option.value ~default:0. (find_float_field line "value")
+                in
+                Ok
+                  ({ Trace.kind; cat; name; ts = ts_us *. 1e3; dur; value }
+                  :: acc)))
+  in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line acc with
+        | Ok acc -> go (lineno + 1) acc rest
+        | Error _ as e -> e)
+  in
+  go 1 [] (lines_of s)
+
+let events_of_string s =
+  let rec first_nonspace i =
+    if i >= String.length s then None
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
+      | c -> Some c
+  in
+  match first_nonspace 0 with
+  | None -> Ok []
+  | Some '{' -> events_of_chrome s
+  | Some _ -> events_of_csv s
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    data
+  with
+  | data -> events_of_string data
+  | exception Sys_error msg -> Error msg
+
+(* ---------------- Terminal summary ---------------- *)
+
+let render_summary ?(top = 5) evs =
+  (* Aggregate count and span-time by category, and within each
+     category by name; association lists keep first-seen order stable
+     before sorting, so output is deterministic. *)
+  let cats : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 16 in
+  let names : (string * string, (int * float) ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let bump tbl k ns =
+    match Hashtbl.find_opt tbl k with
+    | Some r ->
+        let c, t = !r in
+        r := (c + 1, t +. ns)
+    | None -> Hashtbl.add tbl k (ref (1, ns))
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let ns = match ev.kind with Trace.Span -> ev.dur | _ -> 0. in
+      bump cats ev.cat ns;
+      bump names (ev.cat, ev.name) ns)
+    evs;
+  let cat_rows =
+    Hashtbl.fold (fun cat r acc -> (cat, !r) :: acc) cats []
+    |> List.sort (fun (ca, (_, ta)) (cb, (_, tb)) ->
+           match compare tb ta with 0 -> compare ca cb | c -> c)
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "%-18s %-26s %8s %12s %12s\n" "category" "name" "count"
+    "total" "mean";
+  List.iter
+    (fun (cat, (ccount, ctotal)) ->
+      Printf.bprintf buf "%-18s %-26s %8d %12s %12s\n" cat "*" ccount
+        (fmt_ns ctotal)
+        (fmt_ns (ctotal /. float_of_int (max 1 ccount)));
+      let name_rows =
+        Hashtbl.fold
+          (fun (c, n) r acc -> if c = cat then (n, !r) :: acc else acc)
+          names []
+        |> List.sort (fun (na, (_, ta)) (nb, (_, tb)) ->
+               match compare tb ta with 0 -> compare na nb | c -> c)
+      in
+      List.iteri
+        (fun i (name, (ncount, ntotal)) ->
+          if i < top then
+            Printf.bprintf buf "%-18s %-26s %8d %12s %12s\n" "" name ncount
+              (fmt_ns ntotal)
+              (fmt_ns (ntotal /. float_of_int (max 1 ncount))))
+        name_rows)
+    cat_rows;
+  if evs = [] then Buffer.add_string buf "(empty trace)\n";
+  Buffer.contents buf

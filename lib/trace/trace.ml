@@ -1,0 +1,169 @@
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  cat : string;
+  name : string;
+  ts : float;
+  dur : float;
+  value : float;
+}
+
+let kind_to_string = function
+  | Span -> "span"
+  | Instant -> "instant"
+  | Counter -> "counter"
+
+let default_capacity = 65_536
+
+(* Atomics, not globals-with-fences: worker domains spawned after
+   [enable] must observe the flag without extra synchronisation. *)
+let enabled_flag = Atomic.make false
+let capacity_cell = Atomic.make default_capacity
+
+let[@inline] enabled () = Atomic.get enabled_flag
+
+let enable ?capacity () =
+  (match capacity with
+  | None -> ()
+  | Some c when c >= 1 -> Atomic.set capacity_cell c
+  | Some c -> invalid_arg (Printf.sprintf "Trace.enable: capacity %d" c));
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+type recorder = {
+  (* Ring buffer: [len] live events starting at [start].  [buf] is
+     allocated lazily on the first event so an enabled-but-quiet
+     domain costs nothing. *)
+  mutable buf : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+  mutable cursor : float;
+}
+
+let null_event =
+  { kind = Instant; cat = ""; name = ""; ts = 0.; dur = 0.; value = 0. }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { buf = [||]; start = 0; len = 0; dropped = 0; cursor = 0. })
+
+let recorder () = Domain.DLS.get key
+
+let record r ev =
+  let cap = Atomic.get capacity_cell in
+  if Array.length r.buf <> cap then begin
+    (* First event on this domain, or capacity changed under us (only
+       possible between experiments): start a fresh ring. *)
+    r.buf <- Array.make cap null_event;
+    r.start <- 0;
+    r.len <- 0
+  end;
+  if r.len < cap then begin
+    let i = r.start + r.len in
+    r.buf.(if i >= cap then i - cap else i) <- ev;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.buf.(r.start) <- ev;
+    r.start <- (if r.start + 1 >= cap then 0 else r.start + 1);
+    r.dropped <- r.dropped + 1
+  end
+
+let span ?at ~cat ~name ns =
+  if enabled () then begin
+    let r = recorder () in
+    let ts =
+      match at with
+      | Some t -> t
+      | None ->
+          let t = r.cursor in
+          r.cursor <- t +. ns;
+          t
+    in
+    record r { kind = Span; cat; name; ts; dur = ns; value = 0. }
+  end
+
+let instant ?at ~cat ~name () =
+  if enabled () then begin
+    let r = recorder () in
+    let ts = match at with Some t -> t | None -> r.cursor in
+    record r { kind = Instant; cat; name; ts; dur = 0.; value = 0. }
+  end
+
+let counter ?at ~cat ~name v =
+  if enabled () then begin
+    let r = recorder () in
+    let ts = match at with Some t -> t | None -> r.cursor in
+    record r { kind = Counter; cat; name; ts; dur = 0.; value = v }
+  end
+
+let reset () =
+  let r = recorder () in
+  r.buf <- [||];
+  r.start <- 0;
+  r.len <- 0;
+  r.dropped <- 0;
+  r.cursor <- 0.
+
+let dropped () = (recorder ()).dropped
+
+let take () =
+  let r = recorder () in
+  let n = r.len in
+  let out =
+    if n = 0 then []
+    else begin
+      let cap = Array.length r.buf in
+      List.init n (fun i ->
+          let j = r.start + i in
+          r.buf.(if j >= cap then j - cap else j))
+    end
+  in
+  r.start <- 0;
+  r.len <- 0;
+  r.dropped <- 0;
+  r.cursor <- 0.;
+  out
+
+let inject ?(dropped = 0) evs =
+  if enabled () then begin
+    let r = recorder () in
+    List.iter (fun ev -> record r ev) evs;
+    r.dropped <- r.dropped + dropped
+  end
+
+let capture f =
+  if not (enabled ()) then (f (), [], 0)
+  else begin
+    let r = recorder () in
+    let saved_buf = r.buf
+    and saved_start = r.start
+    and saved_len = r.len
+    and saved_dropped = r.dropped
+    and saved_cursor = r.cursor in
+    r.buf <- [||];
+    r.start <- 0;
+    r.len <- 0;
+    r.dropped <- 0;
+    r.cursor <- 0.;
+    let restore () =
+      r.buf <- saved_buf;
+      r.start <- saved_start;
+      r.len <- saved_len;
+      r.dropped <- saved_dropped;
+      r.cursor <- saved_cursor
+    in
+    match f () with
+    | v ->
+        let d = (recorder ()).dropped in
+        let evs = take () in
+        restore ();
+        (v, evs, d)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        restore ();
+        Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,105 @@
+(** Deterministic, bounded, per-domain event tracing.
+
+    Every figure in the paper is the product of event {e counts} and
+    unit {e costs} (mode switches, hypercalls, context switches,
+    copies).  This recorder captures those events as they are charged,
+    so a run artifact can answer "where did the time go" — and a diff
+    of two artifacts can answer "who wins and why" (see {!Diff}).
+
+    Design constraints, in priority order:
+
+    + {b Zero cost when disabled.}  Every emitting function loads one
+      atomic flag and branches; no allocation, no formatting.  Hot
+      call sites additionally guard with {!enabled} so even argument
+      construction is skipped.
+    + {b Determinism.}  Events carry simulated or synthetic-cursor
+      timestamps, never wall-clock.  Per-domain buffers are merged in
+      submission order by [Xc_sim.Parallel], so a traced run is
+      byte-identical at any [--jobs] (enforced in tier-1).
+    + {b Bounded memory.}  Each domain records into a ring of
+      {!enable}[ ~capacity] events; on overflow the oldest event is
+      overwritten and {!dropped} counts the loss — tracing never grows
+      without bound under heavy simulated traffic.
+
+    Timestamps: analytic cost paths (straight-line formulas with no
+    engine) pass no [~at]; the event lands on the recorder's synthetic
+    cursor, which then advances by the span's duration, producing a
+    well-formed timeline of the cost composition.  Engine-driven code
+    passes [~at:(Engine.now e)] and the cursor is untouched. *)
+
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  cat : string;  (** category, e.g. ["syscall-entry"], ["hypercall"] *)
+  name : string;  (** low-cardinality name within the category *)
+  ts : float;  (** nanoseconds — sim clock or synthetic cursor *)
+  dur : float;  (** span duration in ns; [0.] for instants/counters *)
+  value : float;  (** counter value; [0.] otherwise *)
+}
+
+val kind_to_string : kind -> string
+
+val default_capacity : int
+(** 65536 events per domain. *)
+
+(** {1 Switches} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn tracing on process-wide.  [capacity] (default
+    {!default_capacity}, must be >= 1) sets the per-domain ring size
+    for buffers allocated from now on. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** One atomic load; inlinable.  Emitters are already guarded, but hot
+    call sites should test this before building event arguments. *)
+
+(** {1 Emitters}
+
+    All are no-ops when disabled. *)
+
+val span : ?at:float -> cat:string -> name:string -> float -> unit
+(** [span ~cat ~name ns] records a slice of [ns] nanoseconds.  Without
+    [~at] it is placed at the current domain's cursor, which advances
+    by [ns]. *)
+
+val instant : ?at:float -> cat:string -> name:string -> unit -> unit
+(** A point event (e.g. one mode switch).  Does not move the cursor. *)
+
+val counter : ?at:float -> cat:string -> name:string -> float -> unit
+(** A sampled value (e.g. cumulative cmpxchg count). *)
+
+(** {1 Draining} *)
+
+val take : unit -> event list
+(** Drain the current domain's buffer in record order and reset it
+    (cursor back to 0, dropped count cleared).  Read {!dropped} {e
+    before} calling this if you need the loss count. *)
+
+val dropped : unit -> int
+(** Events overwritten in the current domain's ring since the last
+    {!take}/{!reset}. *)
+
+val reset : unit -> unit
+(** Discard the current domain's buffer and reset cursor and dropped
+    count. *)
+
+(** {1 Composition}
+
+    These two let captures nest (an experiment inside a parallel
+    sweep inside the bench harness) and let a parent domain absorb
+    events recorded on worker domains in a deterministic order. *)
+
+val capture : (unit -> 'a) -> 'a * event list * int
+(** [capture f] runs [f] with a fresh recorder state on this domain
+    and returns [(result, events, dropped)]; the state that was live
+    before the call is restored afterwards (also on exceptions, in
+    which case the inner events are discarded with the exception
+    re-raised).  When disabled: [(f (), [], 0)]. *)
+
+val inject : ?dropped:int -> event list -> unit
+(** Append previously captured events verbatim to the current domain's
+    buffer (normal ring-overflow rules apply); add [dropped] to the
+    loss count.  No-op when disabled. *)

@@ -43,6 +43,40 @@ let test_map () =
     "map" [ 2; 4; 6 ]
     (Parallel.map ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
 
+(* ---------------- jobs parsing ---------------- *)
+
+let test_jobs_of_string () =
+  (* Surrounding whitespace is trimmed (XC_JOBS=" 4" is fine) ... *)
+  List.iter
+    (fun s ->
+      match Parallel.jobs_of_string s with
+      | Ok 4 -> ()
+      | Ok n -> Alcotest.failf "%S: expected 4, got %d" s n
+      | Error e -> Alcotest.fail e)
+    [ "4"; " 4"; "4 " ];
+  (* ... but zero, negatives and non-numbers are hard errors. *)
+  List.iter
+    (fun s ->
+      match Parallel.jobs_of_string s with
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error names the rule" s)
+            true
+            (String.length msg > 0)
+      | Ok n -> Alcotest.failf "%S accepted as %d jobs" s n)
+    [ "0"; "-3"; ""; "banana"; "2.5"; "1e2" ]
+
+let test_jobs_from_env () =
+  (* The mutating cases (XC_JOBS=bogus etc.) are exercised end-to-end by
+     the bench CLI checks in bench/dune; here only the unset default. *)
+  match Sys.getenv_opt "XC_JOBS" with
+  | Some _ -> ()
+  | None -> (
+      match Parallel.jobs_from_env () with
+      | Ok 1 -> ()
+      | Ok n -> Alcotest.failf "unset XC_JOBS should default to 1, got %d" n
+      | Error e -> Alcotest.fail e)
+
 (* ---------------- determinism under fan-out ---------------- *)
 
 (* One Cluster_sim config and one Figures.fig3 point, run through
@@ -85,6 +119,8 @@ let suites =
         Alcotest.test_case "sequential default" `Quick test_sequential_default;
         Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
         Alcotest.test_case "map" `Quick test_map;
+        Alcotest.test_case "jobs_of_string" `Quick test_jobs_of_string;
+        Alcotest.test_case "jobs_from_env default" `Quick test_jobs_from_env;
         Alcotest.test_case "cluster_sim deterministic" `Quick
           test_cluster_sim_deterministic;
         Alcotest.test_case "fig3 deterministic" `Quick test_fig3_deterministic;

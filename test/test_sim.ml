@@ -267,6 +267,27 @@ let test_histogram_merge () =
   let m = Histogram.merge a b in
   Alcotest.(check int) "merged count" 2 (Histogram.count m)
 
+let test_histogram_merge_disjoint () =
+  (* Two clusters five decades apart: the merged percentiles must land
+     in the right cluster, and merging must not disturb the inputs. *)
+  let a = Histogram.create () and b = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.add a 10.
+  done;
+  for _ = 1 to 100 do
+    Histogram.add b 1e6
+  done;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count" 200 (Histogram.count m);
+  Alcotest.(check bool) "p25 in the low cluster" true
+    (Histogram.percentile m 25. < 100.);
+  Alcotest.(check bool) "p75 in the high cluster" true
+    (Histogram.percentile m 75. > 1e5);
+  check_float "mean between clusters" ((100. *. 10. +. 100. *. 1e6) /. 200.)
+    (Histogram.mean m);
+  Alcotest.(check int) "left input untouched" 100 (Histogram.count a);
+  Alcotest.(check int) "right input untouched" 100 (Histogram.count b)
+
 let histogram_props =
   [
     QCheck.Test.make ~name:"percentile monotone in p" ~count:100
@@ -304,6 +325,35 @@ let test_metrics () =
     [ ("a", 2.); ("b", 2.5) ] (Metrics.to_alist m);
   Metrics.reset m;
   check_float "reset" 0. (Metrics.get m "a")
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "hits";
+  Metrics.add a "bytes" 10.;
+  Metrics.incr b "hits";
+  Metrics.incr b "misses";
+  let m = Metrics.merge a b in
+  Alcotest.(check (list (pair string (float 0.))))
+    "duplicates sum, singletons pass through"
+    [ ("bytes", 10.); ("hits", 2.); ("misses", 1.) ]
+    (Metrics.to_alist m);
+  (* The result is a fresh registry: writing to it must not leak back. *)
+  Metrics.incr m "hits";
+  check_float "left input untouched" 1. (Metrics.get a "hits");
+  check_float "right input untouched" 1. (Metrics.get b "hits")
+
+let test_metrics_merge_empty () =
+  let empty = Metrics.create () and b = Metrics.create () in
+  Metrics.add b "x" 3.;
+  Alcotest.(check (list (pair string (float 0.))))
+    "empty left" [ ("x", 3.) ]
+    (Metrics.to_alist (Metrics.merge empty b));
+  Alcotest.(check (list (pair string (float 0.))))
+    "empty right" [ ("x", 3.) ]
+    (Metrics.to_alist (Metrics.merge b empty));
+  Alcotest.(check (list (pair string (float 0.))))
+    "both empty" []
+    (Metrics.to_alist (Metrics.merge (Metrics.create ()) (Metrics.create ())))
 
 (* ---------------- Table ---------------- *)
 
@@ -496,9 +546,16 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
         Alcotest.test_case "empty" `Quick test_histogram_empty;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "merge disjoint ranges" `Quick
+          test_histogram_merge_disjoint;
       ]
       @ qsuite histogram_props );
-    ("sim.metrics", [ Alcotest.test_case "counters" `Quick test_metrics ]);
+    ( "sim.metrics",
+      [
+        Alcotest.test_case "counters" `Quick test_metrics;
+        Alcotest.test_case "merge" `Quick test_metrics_merge;
+        Alcotest.test_case "merge with empty" `Quick test_metrics_merge_empty;
+      ] );
     ( "sim.table",
       [
         Alcotest.test_case "render" `Quick test_table_render;

@@ -1,0 +1,326 @@
+(* Tests for the xc_trace substrate: recorder semantics (cursor
+   timeline, ring bound, capture nesting), the deterministic parallel
+   merge, both exporter round-trips, the diff math — and the Figure 4
+   shape the tracer exists to explain: diffing a Docker syscall loop
+   against an X-Container one must blame the syscall-entry path. *)
+
+module Trace = Xc_trace.Trace
+module Export = Xc_trace.Export
+module Diff = Xc_trace.Diff
+module Config = Xc_platforms.Config
+
+(* Enable tracing for the duration of [f], then restore the disabled
+   state and discard anything left in this domain's buffer, so suites
+   that run after us see a quiet tracer.  The capacity always defaults
+   explicitly: a previous test's tiny ring must not leak forward. *)
+let with_trace ?(capacity = Trace.default_capacity) f =
+  Trace.enable ~capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+let ev =
+  let pp fmt (e : Trace.event) =
+    Format.fprintf fmt "%s %s/%s ts=%g dur=%g v=%g"
+      (Trace.kind_to_string e.kind)
+      e.cat e.name e.ts e.dur e.value
+  in
+  Alcotest.testable pp ( = )
+
+(* Events after a serialise/parse round trip: same fields, timestamps
+   equal to within the fixed-precision float formatting. *)
+let roughly_equal (a : Trace.event) (b : Trace.event) =
+  a.kind = b.kind && a.cat = b.cat && a.name = b.name
+  && Float.abs (a.ts -. b.ts) < 1e-3
+  && Float.abs (a.dur -. b.dur) < 1e-3
+  && Float.abs (a.value -. b.value) < 1e-3
+
+(* ---------------- recorder ---------------- *)
+
+let test_disabled_noop () =
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  Trace.span ~cat:"c" ~name:"n" 5.;
+  Trace.instant ~cat:"c" ~name:"n" ();
+  Trace.counter ~cat:"c" ~name:"n" 1.;
+  Alcotest.(check (list ev)) "nothing recorded" [] (Trace.take ())
+
+let test_cursor_timeline () =
+  with_trace (fun () ->
+      Trace.span ~cat:"c" ~name:"a" 10.;
+      Trace.instant ~cat:"c" ~name:"tick" ();
+      Trace.span ~cat:"c" ~name:"b" 5.;
+      Trace.span ~at:99. ~cat:"c" ~name:"pinned" 7.;
+      Trace.span ~cat:"c" ~name:"d" 1.;
+      match Trace.take () with
+      | [ a; tick; b; pinned; d ] ->
+          Alcotest.(check (float 0.)) "a at origin" 0. a.Trace.ts;
+          Alcotest.(check (float 0.)) "instant at cursor" 10. tick.Trace.ts;
+          Alcotest.(check (float 0.)) "b after a" 10. b.Trace.ts;
+          Alcotest.(check (float 0.)) "explicit ~at honoured" 99. pinned.Trace.ts;
+          (* ~at must not move the cursor: d continues after b. *)
+          Alcotest.(check (float 0.)) "cursor unaffected by ~at" 15. d.Trace.ts;
+          (* take resets the cursor. *)
+          Trace.span ~cat:"c" ~name:"fresh" 1.;
+          let fresh = List.hd (Trace.take ()) in
+          Alcotest.(check (float 0.)) "cursor reset by take" 0. fresh.Trace.ts
+      | evs -> Alcotest.failf "expected 5 events, got %d" (List.length evs))
+
+let test_ring_bound () =
+  with_trace ~capacity:4 (fun () ->
+      for i = 1 to 10 do
+        Trace.span ~cat:"c" ~name:(string_of_int i) 1.
+      done;
+      Alcotest.(check int) "dropped counts overwrites" 6 (Trace.dropped ());
+      let names = List.map (fun (e : Trace.event) -> e.name) (Trace.take ()) in
+      Alcotest.(check (list string))
+        "oldest overwritten, order kept" [ "7"; "8"; "9"; "10" ] names;
+      Alcotest.(check int) "take clears dropped" 0 (Trace.dropped ()))
+
+let test_capture_nesting () =
+  with_trace (fun () ->
+      Trace.span ~cat:"outer" ~name:"before" 3.;
+      let v, inner, dropped =
+        Trace.capture (fun () ->
+            Trace.span ~cat:"inner" ~name:"x" 1.;
+            Trace.span ~cat:"inner" ~name:"y" 2.;
+            42)
+      in
+      Alcotest.(check int) "result threaded" 42 v;
+      Alcotest.(check int) "no drops" 0 dropped;
+      Alcotest.(check (list string))
+        "inner events isolated" [ "x"; "y" ]
+        (List.map (fun (e : Trace.event) -> e.Trace.name) inner);
+      (* Inner spans start on their own cursor. *)
+      Alcotest.(check (float 0.)) "inner cursor fresh" 0. (List.hd inner).Trace.ts;
+      (* The outer recorder state survives: cursor continues at 3. *)
+      Trace.span ~cat:"outer" ~name:"after" 1.;
+      match Trace.take () with
+      | [ before; after ] ->
+          Alcotest.(check string) "outer kept" "before" before.Trace.name;
+          Alcotest.(check (float 0.)) "outer cursor restored" 3. after.Trace.ts
+      | evs -> Alcotest.failf "expected 2 outer events, got %d" (List.length evs))
+
+exception Boom
+
+let test_capture_exception () =
+  with_trace (fun () ->
+      Trace.span ~cat:"outer" ~name:"kept" 2.;
+      (try
+         ignore
+           (Trace.capture (fun () ->
+                Trace.span ~cat:"inner" ~name:"lost" 1.;
+                raise Boom))
+       with Boom -> ());
+      let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.take ()) in
+      Alcotest.(check (list string)) "outer intact, inner discarded" [ "kept" ] names)
+
+let test_inject () =
+  with_trace (fun () ->
+      let (), evs, _ = Trace.capture (fun () -> Trace.span ~cat:"c" ~name:"a" 1.) in
+      Trace.span ~cat:"c" ~name:"first" 1.;
+      Trace.inject ~dropped:3 evs;
+      Alcotest.(check int) "injected drop count" 3 (Trace.dropped ());
+      let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.take ()) in
+      Alcotest.(check (list string)) "appended in order" [ "first"; "a" ] names)
+
+(* ---------------- parallel merge determinism ---------------- *)
+
+let traced_parallel_run jobs =
+  with_trace (fun () ->
+      let values =
+        Xc_sim.Parallel.run ~jobs
+          (List.init 6 (fun i () ->
+               Trace.span ~cat:"work" ~name:(string_of_int i)
+                 (float_of_int (i + 1));
+               Trace.instant ~cat:"tick" ~name:(string_of_int i) ();
+               i * i))
+      in
+      (values, Trace.take ()))
+
+let test_parallel_merge_deterministic () =
+  let v1, t1 = traced_parallel_run 1 in
+  let v4, t4 = traced_parallel_run 4 in
+  Alcotest.(check (list int)) "values agree" v1 v4;
+  Alcotest.(check (list ev)) "traces byte-identical across jobs" t1 t4;
+  (* Each thunk records on a fresh cursor, so every span sits at 0. *)
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.kind = Trace.Span then
+        Alcotest.(check (float 0.)) "per-thunk cursor" 0. e.Trace.ts)
+    t4
+
+(* ---------------- exporters ---------------- *)
+
+let sample_events () =
+  with_trace (fun () ->
+      Trace.span ~cat:"syscall-entry" ~name:"syscall-trap+kpti" 475.;
+      Trace.instant ~cat:"mode-switch" ~name:"guest-user->guest-kernel" ();
+      Trace.counter ~cat:"abom" ~name:"cmpxchg" 17.;
+      Trace.span ~at:1234.5 ~cat:"request" ~name:"closed-loop" 250_000.;
+      Trace.take ())
+
+let check_round_trip fmt_name serialize =
+  let evs = sample_events () in
+  let text = serialize [ ("track-a", evs) ] in
+  match Export.events_of_string text with
+  | Error e -> Alcotest.failf "%s parse: %s" fmt_name e
+  | Ok parsed ->
+      Alcotest.(check int)
+        (fmt_name ^ " event count")
+        (List.length evs) (List.length parsed);
+      List.iter2
+        (fun a b ->
+          if not (roughly_equal a b) then
+            Alcotest.failf "%s round trip: %s/%s mismatch" fmt_name a.Trace.cat
+              a.Trace.name)
+        evs parsed
+
+let test_chrome_round_trip () = check_round_trip "chrome" (Export.to_chrome ?dropped:None)
+let test_csv_round_trip () = check_round_trip "csv" Export.to_csv
+
+let test_multi_track_concat () =
+  let evs = sample_events () in
+  let text = Export.to_csv [ ("a", evs); ("b", evs) ] in
+  match Export.events_of_string text with
+  | Ok parsed ->
+      Alcotest.(check int) "tracks concatenated" (2 * List.length evs)
+        (List.length parsed)
+  | Error e -> Alcotest.fail e
+
+let test_summary_render () =
+  let s = Export.render_summary ~top:3 (sample_events ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary mentions %S" needle)
+        true
+        (let n = String.length needle and l = String.length s in
+         let rec scan i = i + n <= l && (String.sub s i n = needle || scan (i + 1)) in
+         scan 0))
+    [ "request"; "syscall-entry"; "closed-loop"; "250.00us" ]
+
+let test_fmt_ns () =
+  Alcotest.(check string) "ns" "12ns" (Export.fmt_ns 12.);
+  Alcotest.(check string) "us" "1.25us" (Export.fmt_ns 1250.);
+  Alcotest.(check string) "ms" "3.20ms" (Export.fmt_ns 3_200_000.);
+  Alcotest.(check string) "s" "1.500s" (Export.fmt_ns 1.5e9)
+
+(* ---------------- diff ---------------- *)
+
+let span cat name dur = { Trace.kind = Trace.Span; cat; name; ts = 0.; dur; value = 0. }
+
+let test_diff_math () =
+  let a = [ span "entry" "trap" 400.; span "entry" "trap" 400.; span "work" "read" 50. ] in
+  let b = [ span "entry" "call" 10.; span "entry" "call" 10.; span "work" "read" 60. ] in
+  let r = Diff.diff ~a ~b in
+  Alcotest.(check (float 1e-9)) "a total" 850. r.Diff.a_total_ns;
+  Alcotest.(check (float 1e-9)) "b total" 80. r.Diff.b_total_ns;
+  (match r.Diff.rows with
+  | [ first; second ] ->
+      Alcotest.(check string) "largest |delta| first" "entry" first.Diff.cat;
+      Alcotest.(check (float 1e-9)) "entry delta" (-780.) (Diff.delta first);
+      Alcotest.(check (float 1e-9)) "work delta" 10. (Diff.delta second);
+      Alcotest.(check int) "counts" 2 first.Diff.b_count
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  (match Diff.dominant r with
+  | Some row -> Alcotest.(check string) "dominant" "entry" row.Diff.cat
+  | None -> Alcotest.fail "no dominant row");
+  Alcotest.(check (float 1e-9)) "dominant share" (780. /. 790.)
+    (Diff.dominant_share r);
+  (* A category present on only one side still shows up. *)
+  let r2 = Diff.diff ~a ~b:[ span "new-cat" "x" 5. ] in
+  Alcotest.(check int) "union of categories" 3 (List.length r2.Diff.rows)
+
+let test_diff_identical () =
+  let a = [ span "entry" "trap" 400. ] in
+  let r = Diff.diff ~a ~b:a in
+  Alcotest.(check (float 0.)) "no dominant share" 0. (Diff.dominant_share r);
+  List.iter
+    (fun row -> Alcotest.(check (float 0.)) "zero delta" 0. (Diff.delta row))
+    r.Diff.rows
+
+let test_names_in () =
+  let a = [ span "entry" "trap" 400.; span "entry" "vmexit" 100. ] in
+  let b = [ span "entry" "call" 10. ] in
+  let rows = Diff.names_in ~cat:"entry" ~a ~b in
+  Alcotest.(check int) "three mechanisms" 3 (List.length rows)
+
+(* ---------------- the Figure 4 shape ---------------- *)
+
+(* Trace the UnixBench System Call loop on two platforms and diff: the
+   delta must be explained by the syscall-entry path (trap+KPTI on
+   Docker vs ABOM-patched function call on X-Containers), with the
+   mode-switch counts the paper's Figure 2 narrative predicts. *)
+
+let syscall_loop_trace runtime iters =
+  let platform = Xc_platforms.Platform.create (Config.make runtime) in
+  with_trace (fun () ->
+      let (), evs, dropped =
+        Trace.capture (fun () ->
+            for _ = 1 to iters do
+              ignore
+                (Xc_apps.Unixbench.per_iteration_ns platform
+                   Xc_apps.Unixbench.Syscall_rate)
+            done)
+      in
+      Alcotest.(check int) "no drops" 0 dropped;
+      evs)
+
+let count_cat cat evs =
+  List.length (List.filter (fun (e : Trace.event) -> e.Trace.cat = cat) evs)
+
+let test_fig4_shape () =
+  let iters = 20 in
+  let docker = syscall_loop_trace Config.Docker iters in
+  let xc = syscall_loop_trace Config.X_container iters in
+  let r = Diff.diff ~a:docker ~b:xc in
+  (match Diff.dominant r with
+  | Some row ->
+      Alcotest.(check string) "entry path explains the delta" "syscall-entry"
+        row.Diff.cat
+  | None -> Alcotest.fail "empty diff");
+  Alcotest.(check bool) "majority of the delta" true (Diff.dominant_share r > 0.5);
+  Alcotest.(check bool) "X-Container wins end to end" true
+    (r.Diff.b_total_ns < r.Diff.a_total_ns);
+  (* 5 syscalls per iteration; a trap costs 2 mode switches, the
+     ABOM-converted call none. *)
+  Alcotest.(check int) "docker mode switches" (iters * 5 * 2)
+    (count_cat "mode-switch" docker);
+  Alcotest.(check int) "xc fast-path mode switches" 0 (count_cat "mode-switch" xc);
+  (* Both kernels do identical in-kernel work: that category cancels. *)
+  let work_row =
+    List.find (fun (row : Diff.row) -> row.Diff.cat = "syscall-work") r.Diff.rows
+  in
+  Alcotest.(check (float 1e-6)) "in-kernel work cancels" 0. (Diff.delta work_row)
+
+let suites =
+  [
+    ( "trace.recorder",
+      [
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "cursor timeline" `Quick test_cursor_timeline;
+        Alcotest.test_case "ring bound + dropped" `Quick test_ring_bound;
+        Alcotest.test_case "capture nesting" `Quick test_capture_nesting;
+        Alcotest.test_case "capture on exception" `Quick test_capture_exception;
+        Alcotest.test_case "inject" `Quick test_inject;
+        Alcotest.test_case "parallel merge deterministic" `Quick
+          test_parallel_merge_deterministic;
+      ] );
+    ( "trace.export",
+      [
+        Alcotest.test_case "chrome round trip" `Quick test_chrome_round_trip;
+        Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
+        Alcotest.test_case "multi-track concat" `Quick test_multi_track_concat;
+        Alcotest.test_case "summary" `Quick test_summary_render;
+        Alcotest.test_case "fmt_ns" `Quick test_fmt_ns;
+      ] );
+    ( "trace.diff",
+      [
+        Alcotest.test_case "aggregation and ranking" `Quick test_diff_math;
+        Alcotest.test_case "identical traces" `Quick test_diff_identical;
+        Alcotest.test_case "per-name rows" `Quick test_names_in;
+        Alcotest.test_case "figure 4 shape" `Quick test_fig4_shape;
+      ] );
+  ]
