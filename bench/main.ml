@@ -18,8 +18,11 @@
 
    --trace[=FILE] additionally records an Xc_trace event trace of
    every experiment (one track per experiment, Chrome trace-event JSON
-   or CSV by extension, default BENCH_trace.json).  The trace is
-   deterministic and byte-identical at any --jobs, like stdout. *)
+   or CSV by extension, default BENCH_trace.json) plus a collapsed
+   stack flamegraph sidecar (same basename, .folded).  --sample N
+   keeps one event per window of N per (cat,name) stream so long runs
+   fit one ring.  Trace, folded sidecar and stdout are all
+   deterministic and byte-identical at any --jobs. *)
 
 module T = Xc_sim.Table
 module Figures = Xcontainers.Figures
@@ -1054,8 +1057,7 @@ type outcome = {
   output : string;
   wall_s : float;
   events : int;
-  trace : Xc_trace.Trace.event list;
-  trace_dropped : int;
+  trace : Xc_trace.Trace.captured;
 }
 
 (* Runs one experiment with its output captured in the domain-local
@@ -1070,10 +1072,10 @@ let instrument (name, f) () =
   Buffer.clear buf;
   let events0 = Xc_sim.Engine.domain_events () in
   let t0 = Unix.gettimeofday () in
-  let (), trace, trace_dropped = Xc_trace.Trace.capture f in
+  let (), trace = Xc_trace.Trace.capture f in
   let wall_s = Unix.gettimeofday () -. t0 in
   let events = Xc_sim.Engine.domain_events () - events0 in
-  { name; output = Buffer.contents buf; wall_s; events; trace; trace_dropped }
+  { name; output = Buffer.contents buf; wall_s; events; trace }
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1133,8 +1135,8 @@ let write_bench_json ~jobs ~trace_out ~wall_s outcomes =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let run_experiments ~jobs ~trace_out experiments =
-  if trace_out <> None then Xc_trace.Trace.enable ();
+let run_experiments ~jobs ~trace_out ~sample experiments =
+  if trace_out <> None then Xc_trace.Trace.enable ~sample ();
   let t0 = Unix.gettimeofday () in
   let outcomes = Xc_sim.Parallel.run ~jobs (List.map instrument experiments) in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -1143,14 +1145,36 @@ let run_experiments ~jobs ~trace_out experiments =
   (match trace_out with
   | None -> ()
   | Some path ->
-      let tracks = List.map (fun o -> (o.name, o.trace)) outcomes in
+      let tracks =
+        List.map (fun o -> (o.name, o.trace.Xc_trace.Trace.events)) outcomes
+      in
       let dropped =
-        List.fold_left (fun acc o -> acc + o.trace_dropped) 0 outcomes
+        List.fold_left
+          (fun acc o -> acc + o.trace.Xc_trace.Trace.dropped)
+          0 outcomes
       in
       Xc_trace.Export.to_file ~dropped ~path tracks;
+      (* Flamegraph sidecar: same tracks, collapsed-stack format, same
+         byte-identical-at-any-jobs contract (tier-1 cmps it too). *)
+      let folded_path = Filename.remove_extension path ^ ".folded" in
+      Xc_trace.Export.to_file ~path:folded_path tracks;
       let total = List.fold_left (fun a (_, t) -> a + List.length t) 0 tracks in
-      Printf.eprintf "[bench] wrote %s (%d trace events, %d dropped)\n%!" path
-        total dropped);
+      if sample > 1 then begin
+        let seen, kept =
+          List.fold_left
+            (fun acc o ->
+              List.fold_left
+                (fun (s, k) (st : Xc_trace.Trace.Stream.t) ->
+                  (s + st.seen, k + st.kept))
+                acc o.trace.Xc_trace.Trace.streams)
+            (0, 0) outcomes
+        in
+        Printf.eprintf
+          "[bench] sampling stride %d: kept %d of %d offered events\n%!" sample
+          kept seen
+      end;
+      Printf.eprintf "[bench] wrote %s and %s (%d trace events, %d dropped)\n%!"
+        path folded_path total dropped);
   Printf.eprintf "[bench] %d experiment(s), %d domain(s), %.2fs wall; wrote BENCH_sim.json\n%!"
     (List.length outcomes) jobs wall_s
 
@@ -1180,6 +1204,14 @@ let () =
         exit 2
   in
   let trace_out = ref None in
+  let sample = ref 1 in
+  let set_sample s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> sample := n
+    | _ ->
+        Printf.eprintf "bench: --sample expects a positive integer, got %S\n" s;
+        exit 2
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest ->
@@ -1196,6 +1228,15 @@ let () =
         parse acc rest
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
         trace_out := Some (String.sub arg 8 (String.length arg - 8));
+        parse acc rest
+    | "--sample" :: n :: rest ->
+        set_sample n;
+        parse acc rest
+    | [ "--sample" ] ->
+        Printf.eprintf "bench: --sample expects an argument\n";
+        exit 2
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--sample=" ->
+        set_sample (String.sub arg 9 (String.length arg - 9));
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in
@@ -1235,4 +1276,4 @@ let () =
                 exit 2)
           names
   in
-  run_experiments ~jobs:!jobs ~trace_out:!trace_out experiments
+  run_experiments ~jobs:!jobs ~trace_out:!trace_out ~sample:!sample experiments

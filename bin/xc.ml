@@ -609,13 +609,67 @@ let unixbench_workloads =
     ("process-creation", Xc_apps.Unixbench.Process_creation);
   ]
 
+(* The httpd workload: serve [requests] GETs against pages of very
+   different sizes through the semantic substrate, with wire hops and
+   interrupt delivery modelled per runtime, so each request span has
+   syscall-work / net.hop / evtchn children and "slowest" means
+   something. *)
+let run_traced_httpd config platform ~requests =
+  let fail_vfs = function
+    | Ok v -> v
+    | Error e -> exit_err ("httpd: " ^ Xc_os.Vfs.error_to_string e)
+  in
+  let kernel = Xc_os.Kernel.create ~config:Xc_os.Kernel.xlibos_config () in
+  let vfs = Xc_os.Kernel.vfs kernel in
+  fail_vfs (Xc_os.Vfs.mkdir_p vfs "/var/www");
+  let sizes = [| 512; 256; 16384; 1024; 65536; 2048; 128; 8192 |] in
+  Array.iteri
+    (fun i size ->
+      fail_vfs
+        (Xc_os.Vfs.write_file vfs
+           (Printf.sprintf "/var/www/page%d.html" i)
+           (Bytes.make size 'x')))
+    sizes;
+  let server =
+    match Xc_apps.Httpd.create ~kernel ~port:80 ~docroot:"/var/www" with
+    | Ok s -> s
+    | Error e -> exit_err ("httpd: " ^ e)
+  in
+  let delivery =
+    match config.Xc_platforms.Config.runtime with
+    | Xc_platforms.Config.X_container | Xc_platforms.Config.Xen_container ->
+        Xc_hypervisor.Event_channel.Direct_user_mode
+    | _ -> Xc_hypervisor.Event_channel.Via_hypervisor
+  in
+  let events = Xc_hypervisor.Event_channel.create delivery in
+  Xc_hypervisor.Event_channel.bind events ~port:80;
+  let n_pages = Array.length sizes in
+  for i = 1 to requests do
+    let page = i mod n_pages in
+    (* Every 11th request misses, so 404s show up in the profile. *)
+    let path =
+      if i mod 11 = 0 then "/missing.html"
+      else Printf.sprintf "/page%d.html" page
+    in
+    let response_bytes = if i mod 11 = 0 then 128 else sizes.(page) + 64 in
+    let deliver () =
+      ignore
+        (Xc_platforms.Platform.request_net_ns platform ~request_bytes:64
+           ~response_bytes);
+      ignore (Xc_hypervisor.Event_channel.notify events ~port:80);
+      ignore (Xc_hypervisor.Event_channel.deliver_pending events (fun _ -> ()))
+    in
+    ignore (Xc_apps.Httpd.get ~id:i ~deliver server ~path)
+  done
+
 let trace_run_cmd =
   let exp_arg =
     Arg.(required & pos 0 (some string) None
         & info [] ~docv:"EXPERIMENT"
             ~doc:"A UnixBench loop (syscalls, execl, file-copy, pipe, \
-                  context-switch, process-creation) or an application \
-                  (nginx, memcached, redis, ...).")
+                  context-switch, process-creation), an application \
+                  (nginx, memcached, redis, ...), or httpd (the \
+                  executable server, with per-request tracing).")
   in
   let runtime =
     Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
@@ -639,32 +693,57 @@ let trace_run_cmd =
   let top =
     Arg.(value & opt int 5 & info [ "top" ] ~doc:"Names per category in the summary.")
   in
-  let run exp runtime cloud iterations out top =
+  let sample =
+    Arg.(value & opt int 1
+        & info [ "sample" ] ~docv:"N"
+            ~doc:"Sampling stride: keep one event per window of N per \
+                  (cat,name) stream and print the exact kept/skipped \
+                  accounting. The summary is rescaled by it.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+        & info [ "folded" ] ~docv:"FILE"
+            ~doc:"Write a collapsed-stack flamegraph (stack count lines, \
+                  flamegraph.pl / speedscope input) of the span timeline.")
+  in
+  let slowest =
+    Arg.(value & opt int 0
+        & info [ "slowest" ] ~docv:"K"
+            ~doc:"Explain the K slowest requests end-to-end by mechanism \
+                  (workloads that emit request spans: httpd and the \
+                  closed-loop applications).")
+  in
+  let run exp runtime cloud iterations out top sample folded slowest =
     let module Trace = Xc_trace.Trace in
     let module Export = Xc_trace.Export in
+    let module Profile = Xc_trace.Profile in
     let exp = String.lowercase_ascii exp in
     let config = Xc_platforms.Config.make ~cloud runtime in
     let platform = Xc_platforms.Platform.create config in
+    if sample < 1 then exit_err "--sample must be a positive integer";
     let workload =
-      match List.assoc_opt exp unixbench_workloads with
-      | Some test -> `Unixbench test
-      | None -> (
-          match List.assoc_opt exp app_table with
-          | Some app -> `App app
-          | None ->
-              exit_err
-                (Printf.sprintf "unknown experiment %S; one of: %s" exp
-                   (String.concat ", "
-                      (List.map fst unixbench_workloads @ List.map fst app_table))))
+      if exp = "httpd" then `Httpd
+      else
+        match List.assoc_opt exp unixbench_workloads with
+        | Some test -> `Unixbench test
+        | None -> (
+            match List.assoc_opt exp app_table with
+            | Some app -> `App app
+            | None ->
+                exit_err
+                  (Printf.sprintf "unknown experiment %S; one of: httpd %s" exp
+                     (String.concat ", "
+                        (List.map fst unixbench_workloads @ List.map fst app_table))))
     in
-    Trace.enable ();
-    let (), events, dropped =
+    Trace.enable ~sample ();
+    let (), captured =
       Trace.capture (fun () ->
           match workload with
           | `Unixbench test ->
               for _ = 1 to iterations do
                 ignore (Xc_apps.Unixbench.per_iteration_ns platform test)
               done
+          | `Httpd -> run_traced_httpd config platform ~requests:iterations
           | `App app ->
               let server = Xcontainers.Figures.server_for_public config platform app in
               ignore
@@ -677,20 +756,52 @@ let trace_run_cmd =
                    server))
     in
     Trace.disable ();
+    let { Trace.events; dropped; streams } = captured in
     let label = exp ^ "/" ^ Xc_platforms.Config.name config in
-    print_string (Export.render_summary ~top events);
+    (* With a sampling stride, rescale spans by the exact per-stream
+       kept/seen counters so the summary estimates the full run. *)
+    let scaled = Profile.rescale ~streams events in
+    print_string (Export.render_summary ~top scaled);
+    if sample > 1 then begin
+      Printf.printf "\nsampling stride %d (summary rescaled by kept/seen):\n"
+        sample;
+      print_string (Profile.render_streams streams)
+    end;
+    if slowest > 0 then begin
+      print_newline ();
+      print_string (Profile.render_slowest ~k:slowest events)
+    end;
     if dropped > 0 then
       Printf.printf "(ring full: %d oldest events dropped)\n" dropped;
-    match out with
+    (match out with
     | Some path ->
-        Export.to_file ~dropped ~path [ (label, events) ];
+        (* Request spans go to their own track: a request-id lane above
+           the mechanism lane, tying each request to its children. *)
+        let requests, rest =
+          List.partition
+            (fun (ev : Trace.event) -> ev.kind = Trace.Span && ev.cat = "request")
+            events
+        in
+        let tracks =
+          if requests = [] then [ (label, events) ]
+          else [ (label, rest); (label ^ "/request-id", requests) ]
+        in
+        Export.to_file ~dropped ~path tracks;
         Printf.printf "wrote %s (%d events)\n" path (List.length events)
+    | None -> ());
+    match folded with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Export.to_folded [ (label, events) ]);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
     | None -> ()
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Trace one workload and print its per-category cost summary.")
-    Term.(const run $ exp_arg $ runtime $ cloud $ iterations $ out $ top)
+    Term.(const run $ exp_arg $ runtime $ cloud $ iterations $ out $ top
+          $ sample $ folded $ slowest)
 
 let trace_diff_cmd =
   let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
@@ -713,6 +824,52 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Record execution traces and diff them: who wins and why.")
     [ trace_run_cmd; trace_diff_cmd ]
+
+(* ---------------- xc bench ---------------- *)
+
+let bench_check_cmd =
+  let current =
+    Arg.(value & opt string "BENCH_sim.json"
+        & info [ "current" ] ~docv:"FILE"
+            ~doc:"Artifact of the run under test (written by every bench \
+                  invocation).")
+  in
+  let baseline =
+    Arg.(value & opt string "bench/BENCH_baseline.json"
+        & info [ "baseline" ] ~docv:"FILE"
+            ~doc:"Committed baseline artifact to compare against (see \
+                  docs/PERF.md for how to refresh it).")
+  in
+  let threshold =
+    Arg.(value & opt float Xc_sim.Bench_json.default_threshold_pct
+        & info [ "threshold" ] ~docv:"PCT"
+            ~doc:"Regression budget in percent, applied to events/sec \
+                  (drop) and total wall-clock (rise).")
+  in
+  let run current baseline threshold_pct =
+    match (Xc_sim.Bench_json.of_file baseline, Xc_sim.Bench_json.of_file current) with
+    | Error e, _ | _, Error e -> exit_err e
+    | Ok b, Ok c ->
+        let verdicts =
+          Xc_sim.Bench_json.check ~threshold_pct ~baseline:b ~current:c ()
+        in
+        print_string
+          (Xc_sim.Bench_json.render ~threshold_pct ~baseline:b ~current:c
+             verdicts);
+        if Xc_sim.Bench_json.regressed verdicts then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Compare the current BENCH_sim.json against the committed \
+             baseline; exit nonzero on a regression beyond the threshold.")
+    Term.(const run $ current $ baseline $ threshold)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Operate on bench artifacts (run the bench itself with dune \
+             exec bench/main.exe).")
+    [ bench_check_cmd ]
 
 (* ---------------- main ---------------- *)
 
@@ -744,4 +901,5 @@ let () =
             run_app_cmd;
             sweep_cmd;
             trace_cmd;
+            bench_cmd;
           ]))

@@ -25,6 +25,20 @@ val requests_served : t -> int
 (** {2 Client side} *)
 
 val get :
-  t -> path:string -> (int * string, string) result
+  ?id:int ->
+  ?deliver:(unit -> unit) ->
+  t ->
+  path:string ->
+  (int * string, string) result
 (** Open a connection, send [GET path], run the server, read the reply;
-    returns (status code, body). *)
+    returns (status code, body).
+
+    When tracing is enabled the whole exchange is bracketed by a
+    [request]/[httpd] span carrying the request id in its [value]
+    field (explicit [?id], else a per-server counter), and each
+    socket/VFS step charges its kernel syscall work so the request's
+    [syscall-work] children land inside the span's window —
+    [Xc_trace.Profile.slowest] then explains the request end-to-end.
+    [?deliver] runs between send and serve, inside that window: the
+    place to model wire hops and interrupt delivery (net.hop / evtchn
+    spans).  Untraced behaviour is unchanged. *)

@@ -71,7 +71,11 @@ let run_states config states =
             st.completed <- st.completed + 1;
             Histogram.add st.latencies (now -. sent_at);
             if Xc_trace.Trace.enabled () then
-              Xc_trace.Trace.span ~at:sent_at ~cat:"request"
+              (* value = per-server completion index: a stable request
+                 id that per-request tooling (Profile.slowest) reads
+                 back from the span. *)
+              Xc_trace.Trace.span ~at:sent_at
+                ~value:(float_of_int st.completed) ~cat:"request"
                 ~name:"closed-loop" (now -. sent_at)
           end;
           client_loop st engine)

@@ -154,7 +154,8 @@ let run config =
           incr completed;
           Histogram.add latencies (now' -. b.sent_at);
           if Xc_trace.Trace.enabled () then
-            Xc_trace.Trace.span ~at:b.sent_at ~cat:"request" ~name:"cluster"
+            Xc_trace.Trace.span ~at:b.sent_at
+              ~value:(float_of_int !completed) ~cat:"request" ~name:"cluster"
               (now' -. b.sent_at)
         end;
         (* Closed loop: the client immediately sends the next request. *)

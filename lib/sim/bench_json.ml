@@ -1,0 +1,165 @@
+(* Reader/comparator for the BENCH_sim.json artifact the bench harness
+   writes (schema v2, see docs/PERF.md).  Same policy as the trace
+   parsers: naive field extraction over the exact format we ourselves
+   write — no general JSON parser needed (or allowed — no new
+   dependencies).  Top-level fields all precede the "experiments"
+   array, so the first occurrence of a key is the top-level one. *)
+
+type summary = {
+  git : string;
+  schema_version : int;
+  jobs : int;
+  total_wall_s : float;
+  total_events : int;
+  events_per_sec : float;
+}
+
+let find_raw_field s key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and slen = String.length s in
+  let rec search i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then begin
+      let start = ref (i + plen) in
+      while !start < slen && (s.[!start] = ' ' || s.[!start] = '\t') do
+        incr start
+      done;
+      Some !start
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let find_number s key =
+  match find_raw_field s key with
+  | None -> None
+  | Some start ->
+      let slen = String.length s in
+      let stop = ref start in
+      while
+        !stop < slen
+        &&
+        match s.[!stop] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub s start (!stop - start))
+
+let find_string s key =
+  match find_raw_field s key with
+  | None -> None
+  | Some start ->
+      let slen = String.length s in
+      if start >= slen || s.[start] <> '"' then None
+      else
+        let vstart = start + 1 in
+        Option.map
+          (fun stop -> String.sub s vstart (stop - vstart))
+          (String.index_from_opt s vstart '"')
+
+let of_string data =
+  let num key =
+    match find_number data key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" key)
+  in
+  match num "schema_version" with
+  | Error _ ->
+      Error
+        "missing schema_version (schema v1 artifact?) — refresh with a \
+         current bench run"
+  | Ok sv when int_of_float sv < 2 ->
+      Error
+        (Printf.sprintf "schema_version %d < 2 — refresh the artifact"
+           (int_of_float sv))
+  | Ok sv -> (
+      match
+        (num "jobs", num "total_wall_s", num "total_events", num "events_per_sec")
+      with
+      | Ok jobs, Ok wall, Ok events, Ok eps ->
+          Ok
+            {
+              git = Option.value ~default:"unknown" (find_string data "git");
+              schema_version = int_of_float sv;
+              jobs = int_of_float jobs;
+              total_wall_s = wall;
+              total_events = int_of_float events;
+              events_per_sec = eps;
+            }
+      | (Error _ as e), _, _, _
+      | _, (Error _ as e), _, _
+      | _, _, (Error _ as e), _
+      | _, _, _, (Error _ as e) ->
+          (match e with Error m -> Error m | Ok _ -> assert false))
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> ( match of_string data with Ok s -> Ok s | Error m -> Error (path ^ ": " ^ m))
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated file")
+
+(* ---------------- Regression comparison ---------------- *)
+
+type verdict = {
+  metric : string;
+  baseline_v : float;
+  current_v : float;
+  change_pct : float;  (** (current - baseline) / baseline * 100 *)
+  regressed : bool;
+}
+
+let default_threshold_pct = 3.
+
+let check ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
+  let pct b c = if b <> 0. then (c -. b) /. b *. 100. else 0. in
+  let throughput =
+    let change = pct baseline.events_per_sec current.events_per_sec in
+    {
+      metric = "events_per_sec";
+      baseline_v = baseline.events_per_sec;
+      current_v = current.events_per_sec;
+      change_pct = change;
+      (* Throughput regresses downward. *)
+      regressed = change < -.threshold_pct;
+    }
+  in
+  let wall =
+    let change = pct baseline.total_wall_s current.total_wall_s in
+    {
+      metric = "total_wall_s";
+      baseline_v = baseline.total_wall_s;
+      current_v = current.total_wall_s;
+      change_pct = change;
+      (* Wall clock regresses upward. *)
+      regressed = change > threshold_pct;
+    }
+  in
+  [ throughput; wall ]
+
+let regressed verdicts = List.exists (fun v -> v.regressed) verdicts
+
+let render ?(threshold_pct = default_threshold_pct) ~baseline ~current verdicts =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "bench check: baseline %s (jobs %d) vs current %s (jobs %d)\n"
+    baseline.git baseline.jobs current.git current.jobs;
+  if baseline.jobs <> current.jobs then
+    Buffer.add_string buf
+      "warning: jobs differ between runs; wall-clock comparison is not \
+       apples-to-apples\n";
+  List.iter
+    (fun v ->
+      Printf.bprintf buf "  %-16s %14.1f -> %14.1f  %+6.1f%%  %s\n" v.metric
+        v.baseline_v v.current_v v.change_pct
+        (if v.regressed then "REGRESSED" else "ok"))
+    verdicts;
+  Printf.bprintf buf "result: %s (threshold %.1f%%)\n"
+    (if regressed verdicts then "REGRESSION" else "OK")
+    threshold_pct;
+  Buffer.contents buf

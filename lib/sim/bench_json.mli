@@ -1,0 +1,44 @@
+(** Reader and regression gate for [BENCH_sim.json] artifacts (schema
+    v2 — see docs/PERF.md).  Backs [xc bench check]: compare the
+    artifact of the current run against a committed baseline and flag
+    a > threshold throughput or wall-clock regression. *)
+
+type summary = {
+  git : string;  (** [git describe] of the tree that produced the run *)
+  schema_version : int;  (** >= 2; older artifacts are rejected *)
+  jobs : int;
+  total_wall_s : float;
+  total_events : int;
+  events_per_sec : float;
+}
+
+val of_string : string -> (summary, string) result
+(** Parse an artifact's top-level fields.  Accepts exactly what the
+    bench harness writes; schema v1 files (no [schema_version]) are an
+    [Error] asking for a refresh. *)
+
+val of_file : string -> (summary, string) result
+
+type verdict = {
+  metric : string;  (** ["events_per_sec"] or ["total_wall_s"] *)
+  baseline_v : float;
+  current_v : float;
+  change_pct : float;  (** (current - baseline) / baseline * 100 *)
+  regressed : bool;
+}
+
+val default_threshold_pct : float
+(** 3.0 — the ROADMAP's regression budget. *)
+
+val check :
+  ?threshold_pct:float -> baseline:summary -> current:summary -> unit -> verdict list
+(** One verdict per metric: throughput regresses when it {e drops} by
+    more than the threshold, wall-clock when it {e rises} by more. *)
+
+val regressed : verdict list -> bool
+
+val render :
+  ?threshold_pct:float -> baseline:summary -> current:summary -> verdict list -> string
+(** Human-readable comparison table naming both commits (the schema-v2
+    [git] field), with a warning when the two runs used different
+    [jobs]. *)

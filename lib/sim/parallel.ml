@@ -59,13 +59,32 @@ let run ?jobs thunks =
        domain, and which worker runs which thunk is racy.  So each
        thunk records into its own fresh capture (even at jobs=1, so
        the artifact is identical at any job count) and the calling
-       domain replays the captures in submission order afterwards. *)
-    let wrapped = List.map (fun f () -> Xc_trace.Trace.capture f) thunks in
+       domain replays the captures in submission order afterwards.
+
+       Exceptions are caught inside the wrapper rather than left to
+       [run_plain]'s merge: the merge re-raises before any capture
+       could be injected, which would throw away the trace of every
+       thunk that did complete.  A failing sweep must still yield the
+       partial trace — that trace is how the failure gets debugged. *)
+    let wrapped =
+      List.map
+        (fun f () ->
+          try Done (Xc_trace.Trace.capture f)
+          with e -> Raised (e, Printexc.get_raw_backtrace ()))
+        thunks
+    in
     let results = run_plain ~jobs wrapped in
     List.iter
-      (fun (_, evs, dropped) -> Xc_trace.Trace.inject ~dropped evs)
+      (function
+        | Done (_, captured) -> Xc_trace.Trace.inject captured
+        | Raised _ -> ())
       results;
-    List.map (fun (v, _, _) -> v) results
+    let rec values = function
+      | [] -> []
+      | Done (v, _) :: rest -> v :: values rest
+      | Raised (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+    in
+    values results
   end
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

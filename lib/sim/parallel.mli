@@ -52,7 +52,12 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
     in submission order after the pool drains — at {e every} job
     count, including 1 — so the trace artifact of a parallel run is
     byte-identical to a sequential one.  (Each thunk's synthetic
-    cursor therefore restarts at 0.) *)
+    cursor therefore restarts at 0.)  On failure the captures of all
+    {e completed} thunks are still injected, in submission order,
+    before the lowest-indexed exception propagates: a failing sweep
+    yields the partial trace that explains it.  Consequently the
+    traced path runs every thunk even at [jobs = 1], matching the
+    [jobs > 1] behaviour. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)

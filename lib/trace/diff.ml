@@ -55,11 +55,18 @@ let rows_of ~key ~a ~b =
   in
   (rows, a_total, b_total)
 
-let diff ~a ~b =
+let diff ?(a_streams = []) ?(b_streams = []) ~a ~b () =
+  (* Sampled traces carry only every n-th event per stream; rescaling
+     by the exact kept/seen counters first makes a sampled side
+     comparable to an unsampled (or differently-sampled) one. *)
+  let a = Profile.rescale ~streams:a_streams a in
+  let b = Profile.rescale ~streams:b_streams b in
   let rows, a_total_ns, b_total_ns = rows_of ~key:(fun ev -> ev.Trace.cat) ~a ~b in
   { rows; a_total_ns; b_total_ns }
 
-let names_in ~cat ~a ~b =
+let names_in ?(a_streams = []) ?(b_streams = []) ~cat ~a ~b () =
+  let a = Profile.rescale ~streams:a_streams a in
+  let b = Profile.rescale ~streams:b_streams b in
   let only evs = List.filter (fun (ev : Trace.event) -> ev.cat = cat) evs in
   let rows, _, _ = rows_of ~key:(fun ev -> ev.Trace.name) ~a:(only a) ~b:(only b) in
   rows
@@ -76,8 +83,9 @@ let dominant_share report =
       let total = abs_delta_total report in
       if total <= 0. then 0. else Float.abs (delta r) /. total
 
-let render ?(a_label = "A") ?(b_label = "B") ~a ~b () =
-  let report = diff ~a ~b in
+let render ?(a_label = "A") ?(b_label = "B") ?(a_streams = []) ?(b_streams = [])
+    ~a ~b () =
+  let report = diff ~a_streams ~b_streams ~a ~b () in
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "trace diff: A = %s, B = %s\n" a_label b_label;
   Printf.bprintf buf "%-18s %10s %12s %10s %12s %12s\n" "category"
@@ -105,7 +113,7 @@ let render ?(a_label = "A") ?(b_label = "B") ~a ~b () =
         "dominant delta: %s (%.0f%% of the absolute per-category delta)\n"
         r.cat
         (100. *. dominant_share report);
-      let detail = names_in ~cat:r.cat ~a ~b in
+      let detail = names_in ~a_streams ~b_streams ~cat:r.cat ~a ~b () in
       List.iter
         (fun n ->
           Printf.bprintf buf "  %-24s %10d %12s %10d %12s %12s\n" n.cat

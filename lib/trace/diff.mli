@@ -23,9 +23,26 @@ type report = {
   b_total_ns : float;
 }
 
-val diff : a:Trace.event list -> b:Trace.event list -> report
+val diff :
+  ?a_streams:Trace.Stream.t list ->
+  ?b_streams:Trace.Stream.t list ->
+  a:Trace.event list ->
+  b:Trace.event list ->
+  unit ->
+  report
+(** With [?a_streams]/[?b_streams] (sampler accounting from
+    [Trace.streams] or a capture), the corresponding side is rescaled
+    by {!Profile.rescale} before aggregation so sampled and unsampled
+    traces diff on equal footing. *)
 
-val names_in : cat:string -> a:Trace.event list -> b:Trace.event list -> row list
+val names_in :
+  ?a_streams:Trace.Stream.t list ->
+  ?b_streams:Trace.Stream.t list ->
+  cat:string ->
+  a:Trace.event list ->
+  b:Trace.event list ->
+  unit ->
+  row list
 (** Same aggregation keyed by event {e name}, restricted to one
     category — the per-mechanism detail under a category row. *)
 
@@ -40,6 +57,8 @@ val dominant_share : report -> float
 val render :
   ?a_label:string ->
   ?b_label:string ->
+  ?a_streams:Trace.Stream.t list ->
+  ?b_streams:Trace.Stream.t list ->
   a:Trace.event list ->
   b:Trace.event list ->
   unit ->

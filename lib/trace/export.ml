@@ -1,11 +1,6 @@
 type track = string * Trace.event list
 
-let fmt_ns ns =
-  let a = Float.abs ns in
-  if a < 1e3 then Printf.sprintf "%.0fns" ns
-  else if a < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
-  else if a < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
-  else Printf.sprintf "%.3fs" (ns /. 1e9)
+let fmt_ns = Profile.fmt_ns
 
 (* Categories and names are low-cardinality identifiers we control;
    sanitising (rather than quoting) keeps both formats line-oriented
@@ -22,9 +17,18 @@ let chrome_event buf ~tid (ev : Trace.event) =
   let us v = v /. 1e3 in
   match ev.kind with
   | Trace.Span ->
-      Printf.bprintf buf
-        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f,\"dur\":%.6f}"
-        tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts) (us ev.dur)
+      (* Spans normally carry no value; request spans use it for the
+         request id, which riders like [Profile.requests] (and a human
+         in the Perfetto UI) read back from args. *)
+      if ev.value <> 0. then
+        Printf.bprintf buf
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f,\"dur\":%.6f,\"args\":{\"value\":%.6f}}"
+          tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts) (us ev.dur)
+          ev.value
+      else
+        Printf.bprintf buf
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f,\"dur\":%.6f}"
+          tid (sanitize ev.cat) (sanitize ev.name) (us ev.ts) (us ev.dur)
   | Trace.Instant ->
       Printf.bprintf buf
         "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.6f}"
@@ -77,9 +81,12 @@ let to_csv tracks =
     tracks;
   Buffer.contents buf
 
+let to_folded = Profile.to_folded
+
 let to_file ?dropped ~path tracks =
   let data =
     if Filename.check_suffix path ".csv" then to_csv tracks
+    else if Filename.check_suffix path ".folded" then to_folded tracks
     else to_chrome ?dropped tracks
   in
   let oc = open_out path in
@@ -220,13 +227,16 @@ let events_of_string s =
 let of_file path =
   match
     let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let data = really_input_string ic n in
-    close_in ic;
-    data
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
   | data -> events_of_string data
   | exception Sys_error msg -> Error msg
+  | exception End_of_file ->
+      (* [in_channel_length] raced with a writer truncating the file;
+         a short read is data corruption, not a crash. *)
+      Error (path ^ ": truncated file")
 
 (* ---------------- Terminal summary ---------------- *)
 

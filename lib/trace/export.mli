@@ -20,14 +20,22 @@ val to_chrome : ?dropped:int -> track list -> string
 
 val to_csv : track list -> string
 
+val to_folded : track list -> string
+(** Collapsed-stack flamegraph lines ([stack count\n], track name as
+    root frame) — alias of {!Profile.to_folded}. *)
+
 val to_file : ?dropped:int -> path:string -> track list -> unit
-(** Writes CSV when [path] ends in [.csv], Chrome JSON otherwise. *)
+(** Writes CSV when [path] ends in [.csv], collapsed stacks when it
+    ends in [.folded], Chrome JSON otherwise. *)
 
 val events_of_string : string -> (Trace.event list, string) result
 (** Parse either of this module's own formats (sniffed from the first
     byte); tracks are concatenated in track order. *)
 
 val of_file : string -> (Trace.event list, string) result
+(** Reads the whole file (channel closed even on failure) and parses
+    it; truncated-while-reading files and I/O errors are [Error]s, not
+    exceptions. *)
 
 val render_summary : ?top:int -> Trace.event list -> string
 (** Per-category cost table, categories sorted by total span time

@@ -1,0 +1,236 @@
+let fmt_ns ns =
+  let a = Float.abs ns in
+  if a < 1e3 then Printf.sprintf "%.0fns" ns
+  else if a < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.3fs" (ns /. 1e9)
+
+(* Collapsed-stack frames are separated by ';' and stacks end at the
+   first ' ', so neither may appear inside a frame. *)
+let frame_escape s =
+  String.map (fun c -> match c with ';' -> ':' | ' ' -> '_' | _ -> c) s
+
+let frame_of (ev : Trace.event) =
+  frame_escape ev.cat ^ ";" ^ frame_escape ev.name
+
+(* ---------------- Folding span timelines into stacks ---------------- *)
+
+(* An open span on the fold stack: the stack path that leads to it,
+   where it ends, and how much self-time it still owns (children
+   subtract from it as they are discovered). *)
+type open_span = {
+  path : string;
+  end_ts : float;
+  mutable self : float;
+}
+
+let fold ?root evs =
+  let spans =
+    List.filter (fun (ev : Trace.event) -> ev.kind = Trace.Span && ev.dur > 0.) evs
+  in
+  (* Sort by start time; at equal starts the longer span is the
+     parent, and (cat,name) breaks the remaining ties so the fold is
+     deterministic regardless of input order. *)
+  let spans =
+    List.stable_sort
+      (fun (a : Trace.event) (b : Trace.event) ->
+        match compare a.ts b.ts with
+        | 0 -> (
+            match compare b.dur a.dur with
+            | 0 -> compare (a.cat, a.name) (b.cat, b.name)
+            | c -> c)
+        | c -> c)
+      spans
+  in
+  let out : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let add path self =
+    if self > 0. then
+      match Hashtbl.find_opt out path with
+      | Some r -> r := !r +. self
+      | None -> Hashtbl.add out path (ref self)
+  in
+  let stack = ref [] in
+  let pop () =
+    match !stack with
+    | [] -> ()
+    | top :: rest ->
+        add top.path top.self;
+        stack := rest
+  in
+  let eps_for x = (1e-9 *. Float.abs x) +. 1e-6 in
+  List.iter
+    (fun (s : Trace.event) ->
+      let s_end = s.ts +. s.dur in
+      (* Pop anything this span does not nest inside.  Input is sorted
+         by start time, so only the end boundary needs checking. *)
+      let rec unwind () =
+        match !stack with
+        | top :: _ when s_end > top.end_ts +. eps_for top.end_ts ->
+            pop ();
+            unwind ()
+        | _ -> ()
+      in
+      unwind ();
+      let path =
+        match !stack with
+        | [] -> frame_of s
+        | parent :: _ ->
+            parent.self <- parent.self -. s.dur;
+            parent.path ^ ";" ^ frame_of s
+      in
+      stack := { path; end_ts = s_end; self = s.dur } :: !stack)
+    spans;
+  while !stack <> [] do
+    pop ()
+  done;
+  let prefix = match root with None -> "" | Some r -> frame_escape r ^ ";" in
+  Hashtbl.fold (fun path r acc -> (prefix ^ path, !r) :: acc) out []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_folded tracks =
+  let buf = Buffer.create 4096 in
+  let rows =
+    List.concat_map (fun (name, evs) -> fold ~root:name evs) tracks
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (path, self) ->
+      (* Collapsed-stack counts are integers; ours are nanoseconds of
+         self-time.  Sub-nanosecond residue rounds away. *)
+      if self >= 0.5 then Printf.bprintf buf "%s %.0f\n" path self)
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Rescaling sampled aggregates ---------------- *)
+
+let rescale ~streams evs =
+  if streams = [] then evs
+  else begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Trace.Stream.t) ->
+        Hashtbl.replace tbl (s.cat, s.name) (Trace.Stream.scale s))
+      streams;
+    List.map
+      (fun (ev : Trace.event) ->
+        match ev.kind with
+        | Trace.Span -> (
+            match Hashtbl.find_opt tbl (ev.cat, ev.name) with
+            | Some f when f <> 1. -> { ev with dur = ev.dur *. f }
+            | _ -> ev)
+        | _ -> ev)
+      evs
+  end
+
+let totals_by_cat ?(streams = []) evs =
+  let evs = rescale ~streams evs in
+  let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.kind = Trace.Span then
+        match Hashtbl.find_opt tbl ev.cat with
+        | Some r -> r := !r +. ev.dur
+        | None -> Hashtbl.add tbl ev.cat (ref ev.dur))
+    evs;
+  Hashtbl.fold (fun cat r acc -> (cat, !r) :: acc) tbl []
+  |> List.sort (fun (ca, ta) (cb, tb) ->
+         match compare tb ta with 0 -> compare ca cb | c -> c)
+
+let render_streams streams =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%-18s %-26s %10s %10s %10s %8s\n" "category" "name"
+    "seen" "kept" "skipped" "scale";
+  List.iter
+    (fun (s : Trace.Stream.t) ->
+      Printf.bprintf buf "%-18s %-26s %10d %10d %10d %8.2f\n" s.cat s.name
+        s.seen s.kept (Trace.Stream.skipped s) (Trace.Stream.scale s))
+    streams;
+  if streams = [] then Buffer.add_string buf "(no sampled streams)\n";
+  Buffer.contents buf
+
+(* ---------------- Per-request attribution ---------------- *)
+
+type request = {
+  id : int;
+  name : string;
+  start : float;
+  total : float;
+  by_cat : (string * int * float) list;
+  accounted : float;
+}
+
+let requests evs =
+  let req_spans =
+    List.filter
+      (fun (ev : Trace.event) -> ev.kind = Trace.Span && ev.cat = "request")
+      evs
+  in
+  let children =
+    List.filter
+      (fun (ev : Trace.event) -> ev.kind = Trace.Span && ev.cat <> "request")
+      evs
+  in
+  let eps = 1e-6 in
+  let of_span (r : Trace.event) =
+    let fin = r.ts +. r.dur in
+    let tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (ev : Trace.event) ->
+        if ev.ts >= r.ts -. eps && ev.ts < fin -. eps then
+          match Hashtbl.find_opt tbl ev.cat with
+          | Some cell ->
+              let c, t = !cell in
+              cell := (c + 1, t +. ev.dur)
+          | None -> Hashtbl.add tbl ev.cat (ref (1, ev.dur)))
+      children;
+    let by_cat =
+      Hashtbl.fold (fun cat cell acc -> (cat, fst !cell, snd !cell) :: acc) tbl []
+      |> List.sort (fun (ca, _, ta) (cb, _, tb) ->
+             match compare tb ta with 0 -> compare ca cb | c -> c)
+    in
+    let accounted = List.fold_left (fun acc (_, _, t) -> acc +. t) 0. by_cat in
+    {
+      id = int_of_float r.value;
+      name = r.name;
+      start = r.ts;
+      total = r.dur;
+      by_cat;
+      accounted;
+    }
+  in
+  List.map of_span req_spans
+  |> List.sort (fun a b ->
+         match compare b.total a.total with
+         | 0 -> ( match compare a.start b.start with 0 -> compare a.id b.id | c -> c)
+         | c -> c)
+
+let slowest ~k evs =
+  let all = requests evs in
+  List.filteri (fun i _ -> i < k) all
+
+let render_slowest ?(k = 3) evs =
+  let all = requests evs in
+  let n = List.length all in
+  let buf = Buffer.create 1024 in
+  if n = 0 then Buffer.add_string buf "(no request spans in trace)\n"
+  else begin
+    Printf.bprintf buf "slowest %d of %d requests:\n" (min k n) n;
+    List.iteri
+      (fun i r ->
+        if i < k then begin
+          Printf.bprintf buf "#%d %s: %s end-to-end (starts at %s)\n" r.id
+            r.name (fmt_ns r.total) (fmt_ns r.start);
+          let pct ns = if r.total > 0. then 100. *. ns /. r.total else 0. in
+          List.iter
+            (fun (cat, count, ns) ->
+              Printf.bprintf buf "  %-18s x%-5d %10s %6.1f%%\n" cat count
+                (fmt_ns ns) (pct ns))
+            r.by_cat;
+          let other = r.total -. r.accounted in
+          if Float.abs other > 0.5 then
+            Printf.bprintf buf "  %-18s %s%10s %6.1f%%\n" "(unattributed)"
+              "      " (fmt_ns other) (pct other)
+        end)
+      all
+  end;
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** Profiles over trace event lists: collapsed-stack folding for
+    flamegraphs, rescaling of sampled aggregates, and per-request
+    attribution.
+
+    The synthetic-cursor timeline (see {!Trace}) makes nesting
+    recoverable from timestamps alone: a span that starts inside
+    another span's [ts, ts+dur) window and ends inside it is its
+    child.  Folding that containment relation yields exactly the
+    collapsed-stack format flamegraph tools consume. *)
+
+val fmt_ns : float -> string
+(** Human format for nanoseconds: [742ns], [3.40us], [1.25ms],
+    [2.100s].  (Re-exported as [Export.fmt_ns].) *)
+
+(** {1 Flamegraph folding} *)
+
+val fold : ?root:string -> Trace.event list -> (string * float) list
+(** Fold the span timeline into [(stack, self_ns)] rows, sorted by
+    stack.  Each span contributes the frame ["cat;name"]; nested spans
+    extend their parent's stack, and a parent's self-time excludes its
+    direct children.  [root] prepends one frame (e.g. the track name)
+    to every stack.  Instants, counters and zero-duration spans do not
+    appear. *)
+
+val to_folded : (string * Trace.event list) list -> string
+(** Render tracks as collapsed-stack lines — [stack count\n] with the
+    track name as root frame and self-time nanoseconds (rounded to
+    integers; sub-nanosecond rows are dropped) as the count — ready
+    for [flamegraph.pl] or speedscope.  Deterministic: rows are sorted
+    by stack. *)
+
+(** {1 Sampled-trace rescaling} *)
+
+val rescale : streams:Trace.Stream.t list -> Trace.event list -> Trace.event list
+(** Multiply every span's duration by its stream's [seen/kept] factor,
+    turning a sampled trace into an unbiased estimator of the full
+    trace's aggregate costs.  Events whose (cat,name) has no stream
+    entry (or kept = seen) pass through unchanged; [streams = []] is
+    the identity. *)
+
+val totals_by_cat :
+  ?streams:Trace.Stream.t list -> Trace.event list -> (string * float) list
+(** Total span nanoseconds per category, largest first (ties by
+    category name).  With [~streams], totals are rescaled first. *)
+
+val render_streams : Trace.Stream.t list -> string
+(** Terminal table of per-stream sampler accounting (seen, kept,
+    skipped, scale). *)
+
+(** {1 Per-request attribution} *)
+
+type request = {
+  id : int;  (** from the request span's [value] field *)
+  name : string;  (** request span name, e.g. ["httpd"] *)
+  start : float;  (** span start, ns *)
+  total : float;  (** end-to-end duration, ns *)
+  by_cat : (string * int * float) list;
+      (** (category, span count, total ns) of child spans inside the
+          request window, largest first *)
+  accounted : float;  (** sum of [by_cat] nanoseconds *)
+}
+
+val requests : Trace.event list -> request list
+(** Every span with category ["request"], slowest first (ties by start
+    then id).  A child is any non-request span whose start lies inside
+    the request's [ts, ts+dur) window — the synthetic cursor places
+    the mechanism spans charged on behalf of a request inside exactly
+    that window. *)
+
+val slowest : k:int -> Trace.event list -> request list
+(** First [k] of {!requests}. *)
+
+val render_slowest : ?k:int -> Trace.event list -> string
+(** Terminal rendering of the [k] (default 3) slowest requests: one
+    block per request with its per-category time breakdown, percentage
+    of end-to-end time, and any unattributed remainder. *)

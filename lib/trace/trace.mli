@@ -15,11 +15,18 @@
     + {b Determinism.}  Events carry simulated or synthetic-cursor
       timestamps, never wall-clock.  Per-domain buffers are merged in
       submission order by [Xc_sim.Parallel], so a traced run is
-      byte-identical at any [--jobs] (enforced in tier-1).
+      byte-identical at any [--jobs] (enforced in tier-1) — sampled
+      runs included, because the sampler state is per-capture.
     + {b Bounded memory.}  Each domain records into a ring of
       {!enable}[ ~capacity] events; on overflow the oldest event is
       overwritten and {!dropped} counts the loss — tracing never grows
-      without bound under heavy simulated traffic.
+      without bound under heavy simulated traffic.  For runs whose
+      full event stream would overflow any reasonable ring,
+      {!enable}[ ~sample:n] keeps one event per window of n per
+      (cat,name) stream (rotating the slot within the window so
+      streams with periodic durations are sampled phase-fairly) and
+      counts the rest exactly, so aggregates can be rescaled (see
+      {!Stream.scale} and [Profile.rescale]).
 
     Timestamps: analytic cost paths (straight-line formulas with no
     engine) pass no [~at]; the event lands on the recorder's synthetic
@@ -35,20 +42,46 @@ type event = {
   name : string;  (** low-cardinality name within the category *)
   ts : float;  (** nanoseconds — sim clock or synthetic cursor *)
   dur : float;  (** span duration in ns; [0.] for instants/counters *)
-  value : float;  (** counter value; [0.] otherwise *)
+  value : float;  (** counter value; request id for request spans; [0.] otherwise *)
 }
 
 val kind_to_string : kind -> string
+
+(** Exact per-stream sampler accounting.  One entry per (cat,name)
+    stream that passed through the sampling gate while a stride > 1
+    was set. *)
+module Stream : sig
+  type t = {
+    cat : string;
+    name : string;
+    seen : int;  (** events offered to the gate *)
+    kept : int;  (** events actually recorded *)
+  }
+
+  val skipped : t -> int
+  (** [seen - kept]. *)
+
+  val scale : t -> float
+  (** [seen /. kept] — multiply a kept-events aggregate by this to
+      estimate the full-population aggregate.  [1.] if nothing was
+      kept. *)
+end
 
 val default_capacity : int
 (** 65536 events per domain. *)
 
 (** {1 Switches} *)
 
-val enable : ?capacity:int -> unit -> unit
+val enable : ?capacity:int -> ?sample:int -> unit -> unit
 (** Turn tracing on process-wide.  [capacity] (default
     {!default_capacity}, must be >= 1) sets the per-domain ring size
-    for buffers allocated from now on. *)
+    for buffers allocated from now on.  [sample] (default 1 = keep
+    everything, must be >= 1) sets the sampling stride: each
+    (cat,name) stream keeps one event per window of [sample] — the
+    first event always, then the slot rotates by one each window so
+    periodic streams are sampled phase-fairly — and counts the rest in
+    {!streams}.  Both settings persist until changed by a later
+    [enable]. *)
 
 val disable : unit -> unit
 
@@ -56,14 +89,21 @@ val enabled : unit -> bool
 (** One atomic load; inlinable.  Emitters are already guarded, but hot
     call sites should test this before building event arguments. *)
 
+val sample_stride : unit -> int
+(** The current sampling stride (1 = unsampled). *)
+
 (** {1 Emitters}
 
-    All are no-ops when disabled. *)
+    All are no-ops when disabled.  With a sampling stride > 1, each
+    emitter offers the event to the per-stream gate; a skipped span
+    still advances the synthetic cursor so kept timestamps are
+    identical to the unsampled timeline. *)
 
-val span : ?at:float -> cat:string -> name:string -> float -> unit
+val span : ?at:float -> ?value:float -> cat:string -> name:string -> float -> unit
 (** [span ~cat ~name ns] records a slice of [ns] nanoseconds.  Without
     [~at] it is placed at the current domain's cursor, which advances
-    by [ns]. *)
+    by [ns].  [value] (default [0.]) rides along in the event — used
+    by request spans to carry the request id. *)
 
 val instant : ?at:float -> cat:string -> name:string -> unit -> unit
 (** A point event (e.g. one mode switch).  Does not move the cursor. *)
@@ -71,20 +111,31 @@ val instant : ?at:float -> cat:string -> name:string -> unit -> unit
 val counter : ?at:float -> cat:string -> name:string -> float -> unit
 (** A sampled value (e.g. cumulative cmpxchg count). *)
 
+val cursor : unit -> float
+(** The current domain's synthetic cursor — where the next [~at]-less
+    span will land.  Lets a caller bracket a composite operation
+    (cursor before/after = end-to-end duration) without charging any
+    cost itself. *)
+
 (** {1 Draining} *)
 
 val take : unit -> event list
 (** Drain the current domain's buffer in record order and reset it
-    (cursor back to 0, dropped count cleared).  Read {!dropped} {e
-    before} calling this if you need the loss count. *)
+    (cursor back to 0, dropped count and sampler streams cleared).
+    Read {!dropped} and {!streams} {e before} calling this if you need
+    the loss count or the sampler accounting. *)
 
 val dropped : unit -> int
 (** Events overwritten in the current domain's ring since the last
     {!take}/{!reset}. *)
 
+val streams : unit -> Stream.t list
+(** Per-stream sampler accounting since the last {!take}/{!reset},
+    sorted by (cat, name).  Empty when no stride > 1 was active. *)
+
 val reset : unit -> unit
-(** Discard the current domain's buffer and reset cursor and dropped
-    count. *)
+(** Discard the current domain's buffer and reset cursor, dropped
+    count and sampler streams. *)
 
 (** {1 Composition}
 
@@ -92,14 +143,25 @@ val reset : unit -> unit
     sweep inside the bench harness) and let a parent domain absorb
     events recorded on worker domains in a deterministic order. *)
 
-val capture : (unit -> 'a) -> 'a * event list * int
-(** [capture f] runs [f] with a fresh recorder state on this domain
-    and returns [(result, events, dropped)]; the state that was live
-    before the call is restored afterwards (also on exceptions, in
-    which case the inner events are discarded with the exception
-    re-raised).  When disabled: [(f (), [], 0)]. *)
+type captured = {
+  events : event list;  (** in record order *)
+  dropped : int;  (** ring overwrites during the capture *)
+  streams : Stream.t list;  (** sampler accounting, sorted by (cat,name) *)
+}
 
-val inject : ?dropped:int -> event list -> unit
+val empty_captured : captured
+
+val capture : (unit -> 'a) -> 'a * captured
+(** [capture f] runs [f] with a fresh recorder state on this domain
+    and returns [(result, captured)]; the state that was live before
+    the call is restored afterwards (also on exceptions, in which case
+    the inner events are discarded with the exception re-raised).
+    When disabled: [(f (), empty_captured)]. *)
+
+val inject : captured -> unit
 (** Append previously captured events verbatim to the current domain's
-    buffer (normal ring-overflow rules apply); add [dropped] to the
-    loss count.  No-op when disabled. *)
+    buffer (normal ring-overflow rules apply; the sampling gate is
+    {e not} re-applied — the events were already sampled when first
+    recorded); add the capture's dropped count to the loss count and
+    merge its stream accounting into this domain's.  No-op when
+    disabled. *)

@@ -1,0 +1,159 @@
+(* Tests for Xc_sim.Bench_json: parsing the schema-v2 BENCH_sim.json
+   artifact and the [xc bench check] regression verdicts. *)
+
+module BJ = Xc_sim.Bench_json
+
+(* A faithful miniature of what the bench harness writes: top-level
+   summary fields first, then the per-experiment array whose entries
+   carry same-named fields that must NOT shadow the top-level ones. *)
+let artifact ?(schema = {|  "schema_version": 2,|}) ?(git = "v1.2-3-gabc")
+    ?(jobs = 2) ?(wall = 4.2) ?(events = 23000) ?(eps = 5476.19) () =
+  Printf.sprintf
+    {|{
+  "git": "%s",
+%s
+  "jobs": %d,
+  "total_wall_s": %g,
+  "total_events": %d,
+  "events_per_sec": %g,
+  "experiments": [
+    { "name": "fig3", "total_wall_s": 99.0, "events_per_sec": 1.0 }
+  ]
+}
+|}
+    git schema jobs wall events eps
+
+let parse s =
+  match BJ.of_string s with
+  | Ok summary -> summary
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse () =
+  let s = parse (artifact ()) in
+  Alcotest.(check string) "git" "v1.2-3-gabc" s.BJ.git;
+  Alcotest.(check int) "schema" 2 s.BJ.schema_version;
+  Alcotest.(check int) "jobs" 2 s.BJ.jobs;
+  Alcotest.(check (float 1e-9)) "wall" 4.2 s.BJ.total_wall_s;
+  Alcotest.(check int) "events" 23000 s.BJ.total_events;
+  Alcotest.(check (float 1e-9)) "eps" 5476.19 s.BJ.events_per_sec
+
+let test_top_level_wins () =
+  (* Per-experiment total_wall_s/events_per_sec appear later in the
+     file and must not be picked up. *)
+  let s = parse (artifact ~wall:7.5 ~eps:123.0 ()) in
+  Alcotest.(check (float 1e-9)) "top-level wall, not fig3's 99.0" 7.5
+    s.BJ.total_wall_s;
+  Alcotest.(check (float 1e-9)) "top-level eps, not fig3's 1.0" 123.0
+    s.BJ.events_per_sec
+
+let test_rejects_v1 () =
+  (match BJ.of_string (artifact ~schema:"" ()) with
+  | Error msg ->
+      Alcotest.(check bool) "names the schema problem" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "v1 artifact (no schema_version) must be rejected");
+  match BJ.of_string (artifact ~schema:{|  "schema_version": 1,|} ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema_version 1 must be rejected"
+
+let test_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match BJ.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{}"; {|{"schema_version": 2}|} ]
+
+let test_of_file_missing () =
+  match BJ.of_file "/nonexistent/BENCH_sim.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an Error"
+
+(* ---------------- verdicts ---------------- *)
+
+let verdict metric vs =
+  List.find (fun (v : BJ.verdict) -> v.BJ.metric = metric) vs
+
+let test_check_ok () =
+  let baseline = parse (artifact ()) in
+  (* Within threshold both ways: 2% slower throughput, 2% more wall. *)
+  let current = parse (artifact ~eps:5366.7 ~wall:4.284 ()) in
+  let vs = BJ.check ~baseline ~current () in
+  Alcotest.(check int) "two metrics" 2 (List.length vs);
+  Alcotest.(check bool) "no regression" false (BJ.regressed vs);
+  let t = verdict "events_per_sec" vs in
+  Alcotest.(check bool) "change is negative but tolerated" true
+    (t.BJ.change_pct < 0. && not t.BJ.regressed)
+
+let test_check_throughput_regression () =
+  let baseline = parse (artifact ()) in
+  let current = parse (artifact ~eps:5000.0 ()) in
+  (* ~8.7% throughput drop. *)
+  let vs = BJ.check ~baseline ~current () in
+  Alcotest.(check bool) "flagged" true (BJ.regressed vs);
+  Alcotest.(check bool) "throughput metric regressed" true
+    (verdict "events_per_sec" vs).BJ.regressed;
+  Alcotest.(check bool) "wall metric fine" false
+    (verdict "total_wall_s" vs).BJ.regressed
+
+let test_check_wall_regression () =
+  let baseline = parse (artifact ()) in
+  let current = parse (artifact ~wall:4.5 ()) in
+  (* ~7.1% more wall clock. *)
+  let vs = BJ.check ~baseline ~current () in
+  Alcotest.(check bool) "wall regressed" true
+    (verdict "total_wall_s" vs).BJ.regressed
+
+let test_improvement_not_flagged () =
+  (* Direction matters: faster wall / higher throughput, however
+     large, is never a regression. *)
+  let baseline = parse (artifact ()) in
+  let current = parse (artifact ~eps:9000.0 ~wall:2.0 ()) in
+  Alcotest.(check bool) "improvements pass" false
+    (BJ.regressed (BJ.check ~baseline ~current ()))
+
+let test_custom_threshold () =
+  let baseline = parse (artifact ()) in
+  let current = parse (artifact ~eps:5366.7 ()) in
+  (* 2% drop: fine at the default 3%, flagged at 1%. *)
+  Alcotest.(check bool) "default threshold passes" false
+    (BJ.regressed (BJ.check ~baseline ~current ()));
+  Alcotest.(check bool) "tight threshold flags" true
+    (BJ.regressed (BJ.check ~threshold_pct:1. ~baseline ~current ()))
+
+let contains s needle =
+  let n = String.length needle and l = String.length s in
+  let rec scan i = i + n <= l && (String.sub s i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_render () =
+  let baseline = parse (artifact ~git:"v1.2-3-gabc" ()) in
+  let current = parse (artifact ~git:"v1.2-9-gdef" ~jobs:4 ~eps:5000.0 ()) in
+  let vs = BJ.check ~baseline ~current () in
+  let out = BJ.render ~baseline ~current vs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "render mentions %S" needle)
+        true (contains out needle))
+    [ "v1.2-3-gabc"; "v1.2-9-gdef"; "REGRESSED"; "REGRESSION"; "jobs differ" ]
+
+let suites =
+  [
+    ( "sim.bench_check",
+      [
+        Alcotest.test_case "parse schema v2" `Quick test_parse;
+        Alcotest.test_case "top-level fields win" `Quick test_top_level_wins;
+        Alcotest.test_case "rejects schema v1" `Quick test_rejects_v1;
+        Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+        Alcotest.test_case "of_file missing" `Quick test_of_file_missing;
+        Alcotest.test_case "within threshold ok" `Quick test_check_ok;
+        Alcotest.test_case "throughput regression" `Quick
+          test_check_throughput_regression;
+        Alcotest.test_case "wall regression" `Quick test_check_wall_regression;
+        Alcotest.test_case "improvement not flagged" `Quick
+          test_improvement_not_flagged;
+        Alcotest.test_case "custom threshold" `Quick test_custom_threshold;
+        Alcotest.test_case "render" `Quick test_render;
+      ] );
+  ]

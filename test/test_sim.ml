@@ -288,6 +288,49 @@ let test_histogram_merge_disjoint () =
   Alcotest.(check int) "left input untouched" 100 (Histogram.count a);
   Alcotest.(check int) "right input untouched" 100 (Histogram.count b)
 
+let test_histogram_percentile_edges () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 10.; 100.; 1000. ];
+  (* p=0 clamps the rank to the first sample, p=100 to the last; both
+     are representative values, so same ~2% bucket precision. *)
+  Alcotest.(check bool) "p=0 lands on the smallest sample" true
+    (Float.abs (Histogram.percentile h 0. -. 10.) /. 10. < 0.04);
+  Alcotest.(check bool) "p=100 lands on the largest sample" true
+    (Float.abs (Histogram.percentile h 100. -. 1000.) /. 1000. < 0.04);
+  Alcotest.(check bool) "p=100 bounds every lower percentile" true
+    (Histogram.percentile h 99.9 <= Histogram.percentile h 100.)
+
+let test_histogram_top_power_clamp () =
+  (* Values at/above 2^48 (~2.8e14 ns, the histogram's range ceiling)
+     saturate into the top bucket instead of indexing out of range. *)
+  let top = Float.pow 2. 48. in
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ top; 1e15; 1e18 ];
+  Alcotest.(check int) "clamped adds counted" 3 (Histogram.count h);
+  let p50 = Histogram.percentile h 50. in
+  Alcotest.(check bool) "representative stays below the ceiling" true
+    (p50 < top && p50 > top /. 2.);
+  (* The true values still feed the mean (sum is exact). *)
+  check_float "mean exact" ((top +. 1e15 +. 1e18) /. 3.) (Histogram.mean h)
+
+let test_histogram_merge_after_clamp () =
+  (* Merging a histogram holding clamped (>= 2^48) samples with an
+     in-range one must keep both populations addressable. *)
+  let a = Histogram.create () and b = Histogram.create () in
+  for _ = 1 to 10 do
+    Histogram.add a 1e20
+  done;
+  for _ = 1 to 10 do
+    Histogram.add b 100.
+  done;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count" 20 (Histogram.count m);
+  Alcotest.(check bool) "low half intact" true (Histogram.percentile m 25. < 1e3);
+  Alcotest.(check bool) "clamped half in the top bucket" true
+    (Histogram.percentile m 75. > Float.pow 2. 47.);
+  Alcotest.(check bool) "p100 still the top bucket, not out of range" true
+    (Histogram.percentile m 100. < Float.pow 2. 48.)
+
 let histogram_props =
   [
     QCheck.Test.make ~name:"percentile monotone in p" ~count:100
@@ -545,6 +588,12 @@ let suites =
       [
         Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
         Alcotest.test_case "empty" `Quick test_histogram_empty;
+        Alcotest.test_case "percentile edges" `Quick
+          test_histogram_percentile_edges;
+        Alcotest.test_case "top-power clamp" `Quick
+          test_histogram_top_power_clamp;
+        Alcotest.test_case "merge after clamp" `Quick
+          test_histogram_merge_after_clamp;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
         Alcotest.test_case "merge disjoint ranges" `Quick
           test_histogram_merge_disjoint;

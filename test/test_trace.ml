@@ -1,20 +1,24 @@
 (* Tests for the xc_trace substrate: recorder semantics (cursor
-   timeline, ring bound, capture nesting), the deterministic parallel
-   merge, both exporter round-trips, the diff math — and the Figure 4
-   shape the tracer exists to explain: diffing a Docker syscall loop
-   against an X-Container one must blame the syscall-entry path. *)
+   timeline, ring bound, capture nesting), the fixed-stride sampler,
+   the deterministic parallel merge, both exporter round-trips, the
+   diff math, flamegraph folding and per-request attribution — and the
+   Figure 4 shape the tracer exists to explain: diffing a Docker
+   syscall loop against an X-Container one must blame the
+   syscall-entry path. *)
 
 module Trace = Xc_trace.Trace
 module Export = Xc_trace.Export
 module Diff = Xc_trace.Diff
+module Profile = Xc_trace.Profile
 module Config = Xc_platforms.Config
 
 (* Enable tracing for the duration of [f], then restore the disabled
    state and discard anything left in this domain's buffer, so suites
-   that run after us see a quiet tracer.  The capacity always defaults
-   explicitly: a previous test's tiny ring must not leak forward. *)
-let with_trace ?(capacity = Trace.default_capacity) f =
-  Trace.enable ~capacity ();
+   that run after us see a quiet tracer.  Capacity and sampling stride
+   always default explicitly: a previous test's tiny ring or stride
+   must not leak forward. *)
+let with_trace ?(capacity = Trace.default_capacity) ?(sample = 1) f =
+  Trace.enable ~capacity ~sample ();
   Fun.protect
     ~finally:(fun () ->
       Trace.disable ();
@@ -36,6 +40,11 @@ let roughly_equal (a : Trace.event) (b : Trace.event) =
   && Float.abs (a.ts -. b.ts) < 1e-3
   && Float.abs (a.dur -. b.dur) < 1e-3
   && Float.abs (a.value -. b.value) < 1e-3
+
+let contains s needle =
+  let n = String.length needle and l = String.length s in
+  let rec scan i = i + n <= l && (String.sub s i n = needle || scan (i + 1)) in
+  scan 0
 
 (* ---------------- recorder ---------------- *)
 
@@ -78,22 +87,38 @@ let test_ring_bound () =
         "oldest overwritten, order kept" [ "7"; "8"; "9"; "10" ] names;
       Alcotest.(check int) "take clears dropped" 0 (Trace.dropped ()))
 
+(* Regression: shrinking (or growing) the ring under a live recorder
+   used to discard its contents without bumping [dropped]. *)
+let test_capacity_change_drops () =
+  with_trace ~capacity:8 (fun () ->
+      for i = 1 to 5 do
+        Trace.span ~cat:"c" ~name:(string_of_int i) 1.
+      done;
+      Trace.enable ~capacity:4 ();
+      Trace.span ~cat:"c" ~name:"after" 1.;
+      Alcotest.(check int) "discarded live ring counted as dropped" 5
+        (Trace.dropped ());
+      let names = List.map (fun (e : Trace.event) -> e.name) (Trace.take ()) in
+      Alcotest.(check (list string)) "fresh ring has only the new event"
+        [ "after" ] names)
+
 let test_capture_nesting () =
   with_trace (fun () ->
       Trace.span ~cat:"outer" ~name:"before" 3.;
-      let v, inner, dropped =
+      let v, inner =
         Trace.capture (fun () ->
             Trace.span ~cat:"inner" ~name:"x" 1.;
             Trace.span ~cat:"inner" ~name:"y" 2.;
             42)
       in
       Alcotest.(check int) "result threaded" 42 v;
-      Alcotest.(check int) "no drops" 0 dropped;
+      Alcotest.(check int) "no drops" 0 inner.Trace.dropped;
       Alcotest.(check (list string))
         "inner events isolated" [ "x"; "y" ]
-        (List.map (fun (e : Trace.event) -> e.Trace.name) inner);
+        (List.map (fun (e : Trace.event) -> e.Trace.name) inner.Trace.events);
       (* Inner spans start on their own cursor. *)
-      Alcotest.(check (float 0.)) "inner cursor fresh" 0. (List.hd inner).Trace.ts;
+      Alcotest.(check (float 0.)) "inner cursor fresh" 0.
+        (List.hd inner.Trace.events).Trace.ts;
       (* The outer recorder state survives: cursor continues at 3. *)
       Trace.span ~cat:"outer" ~name:"after" 1.;
       match Trace.take () with
@@ -118,17 +143,102 @@ let test_capture_exception () =
 
 let test_inject () =
   with_trace (fun () ->
-      let (), evs, _ = Trace.capture (fun () -> Trace.span ~cat:"c" ~name:"a" 1.) in
+      let (), captured =
+        Trace.capture (fun () -> Trace.span ~cat:"c" ~name:"a" 1.)
+      in
       Trace.span ~cat:"c" ~name:"first" 1.;
-      Trace.inject ~dropped:3 evs;
+      Trace.inject { captured with Trace.dropped = 3 };
       Alcotest.(check int) "injected drop count" 3 (Trace.dropped ());
       let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.take ()) in
       Alcotest.(check (list string)) "appended in order" [ "first"; "a" ] names)
 
+(* ---------------- the sampler ---------------- *)
+
+let test_sampler_stride () =
+  with_trace ~sample:4 (fun () ->
+      for _ = 1 to 10 do
+        Trace.span ~cat:"c" ~name:"x" 10.
+      done;
+      let streams = Trace.streams () in
+      let evs = Trace.take () in
+      (* Rotating slot: window 0 keeps index 0, window 1 keeps index 5;
+         window 2's slot (index 10) is past the end of the stream. *)
+      Alcotest.(check int) "one event per full window" 2 (List.length evs);
+      (* Skipped events still advance the cursor: kept timestamps match
+         the unsampled timeline. *)
+      Alcotest.(check (list (float 0.)))
+        "timestamps as if unsampled" [ 0.; 50. ]
+        (List.map (fun (e : Trace.event) -> e.Trace.ts) evs);
+      match streams with
+      | [ s ] ->
+          Alcotest.(check string) "stream cat" "c" s.Trace.Stream.cat;
+          Alcotest.(check int) "seen" 10 s.Trace.Stream.seen;
+          Alcotest.(check int) "kept" 2 s.Trace.Stream.kept;
+          Alcotest.(check int) "skipped" 8 (Trace.Stream.skipped s);
+          (* Exact rescale: 2 kept spans of 10ns × 10/2 = the full 100. *)
+          let totals = Profile.totals_by_cat ~streams evs in
+          Alcotest.(check (float 1e-6)) "rescaled total exact" 100.
+            (List.assoc "c" totals)
+      | ss -> Alcotest.failf "expected 1 stream, got %d" (List.length ss))
+
+let test_sampler_per_stream () =
+  with_trace ~sample:2 (fun () ->
+      for _ = 1 to 3 do
+        Trace.span ~cat:"a" ~name:"x" 1.;
+        Trace.span ~cat:"b" ~name:"y" 1.
+      done;
+      let streams = Trace.streams () in
+      Alcotest.(check int) "two independent streams" 2 (List.length streams);
+      List.iter
+        (fun (s : Trace.Stream.t) ->
+          Alcotest.(check int) "each saw 3" 3 s.seen;
+          (* Index 0 kept; window 1's rotated slot is index 3, past the
+             end — the stream's first event is always kept though. *)
+          Alcotest.(check int) "each kept its first" 1 s.kept)
+        streams)
+
+let test_sampler_phase_fair () =
+  (* A stream whose durations repeat with a period dividing the stride
+     (here 2 | 4) must not be sampled at a single phase: the rotating
+     slot visits both phases, so the rescaled total is exact even
+     though the stream is heterogeneous. *)
+  with_trace ~sample:4 (fun () ->
+      for _ = 1 to 16 do
+        Trace.span ~cat:"c" ~name:"x" 100.;
+        Trace.span ~cat:"c" ~name:"x" 300.
+      done;
+      let streams = Trace.streams () in
+      let evs = Trace.take () in
+      let durs = List.map (fun (e : Trace.event) -> e.Trace.dur) evs in
+      Alcotest.(check bool) "both phases kept" true
+        (List.mem 100. durs && List.mem 300. durs);
+      Alcotest.(check (float 1e-6)) "periodic stream rescales exactly"
+        (16. *. (100. +. 300.))
+        (List.assoc "c" (Profile.totals_by_cat ~streams evs)))
+
+let test_sampler_capture_inject_merge () =
+  with_trace ~sample:2 (fun () ->
+      Trace.span ~cat:"c" ~name:"x" 1.;
+      (* seen 1, kept 1 *)
+      let (), inner =
+        Trace.capture (fun () ->
+            for _ = 1 to 4 do
+              Trace.span ~cat:"c" ~name:"x" 1.
+            done)
+      in
+      Alcotest.(check int) "inner stream isolated: seen" 4
+        (List.hd inner.Trace.streams).Trace.Stream.seen;
+      Trace.inject inner;
+      match Trace.streams () with
+      | [ s ] ->
+          Alcotest.(check int) "merged seen" 5 s.Trace.Stream.seen;
+          Alcotest.(check int) "merged kept" 3 s.Trace.Stream.kept
+      | ss -> Alcotest.failf "expected 1 merged stream, got %d" (List.length ss))
+
 (* ---------------- parallel merge determinism ---------------- *)
 
-let traced_parallel_run jobs =
-  with_trace (fun () ->
+let traced_parallel_run ?sample jobs =
+  with_trace ?sample (fun () ->
       let values =
         Xc_sim.Parallel.run ~jobs
           (List.init 6 (fun i () ->
@@ -137,11 +247,12 @@ let traced_parallel_run jobs =
                Trace.instant ~cat:"tick" ~name:(string_of_int i) ();
                i * i))
       in
-      (values, Trace.take ()))
+      let streams = Trace.streams () in
+      (values, streams, Trace.take ()))
 
 let test_parallel_merge_deterministic () =
-  let v1, t1 = traced_parallel_run 1 in
-  let v4, t4 = traced_parallel_run 4 in
+  let v1, _, t1 = traced_parallel_run 1 in
+  let v4, _, t4 = traced_parallel_run 4 in
   Alcotest.(check (list int)) "values agree" v1 v4;
   Alcotest.(check (list ev)) "traces byte-identical across jobs" t1 t4;
   (* Each thunk records on a fresh cursor, so every span sits at 0. *)
@@ -151,6 +262,16 @@ let test_parallel_merge_deterministic () =
         Alcotest.(check (float 0.)) "per-thunk cursor" 0. e.Trace.ts)
     t4
 
+let test_parallel_sampled_deterministic () =
+  (* Sampler state is per-capture, so sampled runs keep the
+     byte-identical-at-any-jobs property, streams included. *)
+  let v1, s1, t1 = traced_parallel_run ~sample:3 1 in
+  let v4, s4, t4 = traced_parallel_run ~sample:3 4 in
+  Alcotest.(check (list int)) "values agree" v1 v4;
+  Alcotest.(check (list ev)) "sampled traces identical across jobs" t1 t4;
+  Alcotest.(check bool) "stream accounting identical across jobs" true (s1 = s4);
+  Alcotest.(check bool) "sampling kept something" true (s1 <> [])
+
 (* ---------------- exporters ---------------- *)
 
 let sample_events () =
@@ -158,7 +279,7 @@ let sample_events () =
       Trace.span ~cat:"syscall-entry" ~name:"syscall-trap+kpti" 475.;
       Trace.instant ~cat:"mode-switch" ~name:"guest-user->guest-kernel" ();
       Trace.counter ~cat:"abom" ~name:"cmpxchg" 17.;
-      Trace.span ~at:1234.5 ~cat:"request" ~name:"closed-loop" 250_000.;
+      Trace.span ~at:1234.5 ~value:7. ~cat:"request" ~name:"closed-loop" 250_000.;
       Trace.take ())
 
 let check_round_trip fmt_name serialize =
@@ -180,6 +301,24 @@ let check_round_trip fmt_name serialize =
 let test_chrome_round_trip () = check_round_trip "chrome" (Export.to_chrome ?dropped:None)
 let test_csv_round_trip () = check_round_trip "csv" Export.to_csv
 
+let test_span_value_round_trip () =
+  (* Request spans carry the request id in [value]; both formats must
+     preserve it (the Chrome exporter writes it as an args field). *)
+  let evs = sample_events () in
+  let req =
+    List.find (fun (e : Trace.event) -> e.Trace.cat = "request") evs
+  in
+  Alcotest.(check (float 0.)) "id recorded" 7. req.Trace.value;
+  List.iter
+    (fun serialize ->
+      match Export.events_of_string (serialize [ ("t", [ req ]) ]) with
+      | Ok [ parsed ] ->
+          Alcotest.(check (float 1e-3)) "id survives round trip" 7.
+            parsed.Trace.value
+      | Ok l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+      | Error e -> Alcotest.fail e)
+    [ Export.to_chrome ?dropped:None; Export.to_csv ]
+
 let test_multi_track_concat () =
   let evs = sample_events () in
   let text = Export.to_csv [ ("a", evs); ("b", evs) ] in
@@ -195,10 +334,7 @@ let test_summary_render () =
     (fun needle ->
       Alcotest.(check bool)
         (Printf.sprintf "summary mentions %S" needle)
-        true
-        (let n = String.length needle and l = String.length s in
-         let rec scan i = i + n <= l && (String.sub s i n = needle || scan (i + 1)) in
-         scan 0))
+        true (contains s needle))
     [ "request"; "syscall-entry"; "closed-loop"; "250.00us" ]
 
 let test_fmt_ns () =
@@ -207,14 +343,77 @@ let test_fmt_ns () =
   Alcotest.(check string) "ms" "3.20ms" (Export.fmt_ns 3_200_000.);
   Alcotest.(check string) "s" "1.500s" (Export.fmt_ns 1.5e9)
 
+let test_of_file_missing () =
+  match Export.of_file "/nonexistent/xc-trace-test.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reading a missing file must be an Error"
+
+let test_of_file_round_trip () =
+  let evs = sample_events () in
+  let path = Filename.temp_file "xc-trace-test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.to_file ~path [ ("t", evs) ];
+      match Export.of_file path with
+      | Ok parsed ->
+          Alcotest.(check int) "all events read back" (List.length evs)
+            (List.length parsed)
+      | Error e -> Alcotest.fail e)
+
+(* ---------------- QCheck: the ring at and around capacity ---------------- *)
+
+(* Fill a ring of [capacity] with [n] spans and serialise/parse the
+   survivors: the last [min n capacity] events must survive in order,
+   the overflow must be counted, and the CSV round trip must preserve
+   the lot.  Exercised densely around the boundary (exactly capacity
+   and capacity+1) plus arbitrary overshoots. *)
+let ring_roundtrip_holds capacity n =
+  with_trace ~capacity (fun () ->
+      for i = 1 to n do
+        Trace.span ~cat:"c" ~name:(string_of_int i) (float_of_int i)
+      done;
+      let dropped = Trace.dropped () in
+      let evs = Trace.take () in
+      let expect_len = min n capacity in
+      let expect_dropped = max 0 (n - capacity) in
+      let names_ok =
+        List.mapi (fun i (e : Trace.event) -> (i, e.Trace.name)) evs
+        |> List.for_all (fun (i, name) ->
+               name = string_of_int (n - expect_len + i + 1))
+      in
+      let round_trip_ok =
+        match Export.events_of_string (Export.to_csv [ ("t", evs) ]) with
+        | Ok parsed ->
+            List.length parsed = expect_len
+            && List.for_all2 roughly_equal evs parsed
+        | Error _ -> false
+      in
+      List.length evs = expect_len
+      && dropped = expect_dropped
+      && names_ok && round_trip_ok)
+
+let qcheck_ring_at_capacity =
+  QCheck.Test.make ~count:50 ~name:"ring round-trips at exactly capacity"
+    QCheck.(int_range 1 64)
+    (fun capacity -> ring_roundtrip_holds capacity capacity)
+
+let qcheck_ring_over_capacity =
+  QCheck.Test.make ~count:50 ~name:"ring round-trips at capacity+1 and beyond"
+    QCheck.(pair (int_range 1 64) (int_range 1 64))
+    (fun (capacity, extra) ->
+      ring_roundtrip_holds capacity (capacity + 1)
+      && ring_roundtrip_holds capacity (capacity + extra))
+
 (* ---------------- diff ---------------- *)
 
-let span cat name dur = { Trace.kind = Trace.Span; cat; name; ts = 0.; dur; value = 0. }
+let span ?(ts = 0.) cat name dur =
+  { Trace.kind = Trace.Span; cat; name; ts; dur; value = 0. }
 
 let test_diff_math () =
   let a = [ span "entry" "trap" 400.; span "entry" "trap" 400.; span "work" "read" 50. ] in
   let b = [ span "entry" "call" 10.; span "entry" "call" 10.; span "work" "read" 60. ] in
-  let r = Diff.diff ~a ~b in
+  let r = Diff.diff ~a ~b () in
   Alcotest.(check (float 1e-9)) "a total" 850. r.Diff.a_total_ns;
   Alcotest.(check (float 1e-9)) "b total" 80. r.Diff.b_total_ns;
   (match r.Diff.rows with
@@ -230,12 +429,12 @@ let test_diff_math () =
   Alcotest.(check (float 1e-9)) "dominant share" (780. /. 790.)
     (Diff.dominant_share r);
   (* A category present on only one side still shows up. *)
-  let r2 = Diff.diff ~a ~b:[ span "new-cat" "x" 5. ] in
+  let r2 = Diff.diff ~a ~b:[ span "new-cat" "x" 5. ] () in
   Alcotest.(check int) "union of categories" 3 (List.length r2.Diff.rows)
 
 let test_diff_identical () =
   let a = [ span "entry" "trap" 400. ] in
-  let r = Diff.diff ~a ~b:a in
+  let r = Diff.diff ~a ~b:a () in
   Alcotest.(check (float 0.)) "no dominant share" 0. (Diff.dominant_share r);
   List.iter
     (fun row -> Alcotest.(check (float 0.)) "zero delta" 0. (Diff.delta row))
@@ -244,8 +443,189 @@ let test_diff_identical () =
 let test_names_in () =
   let a = [ span "entry" "trap" 400.; span "entry" "vmexit" 100. ] in
   let b = [ span "entry" "call" 10. ] in
-  let rows = Diff.names_in ~cat:"entry" ~a ~b in
+  let rows = Diff.names_in ~cat:"entry" ~a ~b () in
   Alcotest.(check int) "three mechanisms" 3 (List.length rows)
+
+let test_diff_sampled_rescale () =
+  (* A sampled side rescaled by its stream counters must diff as the
+     full trace would: 2 kept spans of 100ns with seen=8/kept=2 count
+     as 800ns. *)
+  let a = [ span "entry" "trap" 100.; span "entry" "trap" 100. ] in
+  let b = [ span "entry" "trap" 100. ] in
+  let a_streams =
+    [ { Trace.Stream.cat = "entry"; name = "trap"; seen = 8; kept = 2 } ]
+  in
+  let r = Diff.diff ~a_streams ~a ~b () in
+  Alcotest.(check (float 1e-6)) "rescaled total" 800. r.Diff.a_total_ns;
+  Alcotest.(check (float 1e-6)) "unsampled side untouched" 100. r.Diff.b_total_ns
+
+(* ---------------- flamegraph folding ---------------- *)
+
+let test_fold_nesting () =
+  let evs =
+    [
+      span ~ts:0. "request" "httpd" 100.;
+      span ~ts:0. "syscall-work" "send" 30.;
+      span ~ts:30. "net.hop" "native-stack" 20.;
+      span ~ts:200. "syscall-work" "send" 10.;
+    ]
+  in
+  let rows = Profile.fold evs in
+  Alcotest.(check int) "four stacks" 4 (List.length rows);
+  let assoc stack = List.assoc stack rows in
+  Alcotest.(check (float 1e-9)) "parent self-time excludes children" 50.
+    (assoc "request;httpd");
+  Alcotest.(check (float 1e-9)) "nested child" 30.
+    (assoc "request;httpd;syscall-work;send");
+  Alcotest.(check (float 1e-9)) "second child" 20.
+    (assoc "request;httpd;net.hop;native-stack");
+  Alcotest.(check (float 1e-9)) "outside the window: root frame" 10.
+    (assoc "syscall-work;send")
+
+let test_to_folded_format () =
+  let evs =
+    [ span ~ts:0. "request" "httpd" 100.; span ~ts:0. "syscall-work" "send" 30. ]
+  in
+  let out = Export.to_folded [ ("t", evs) ] in
+  Alcotest.(check string) "collapsed-stack lines, sorted, root-prefixed"
+    "t;request;httpd 70\nt;request;httpd;syscall-work;send 30\n" out
+
+let test_fold_escapes_frames () =
+  let evs = [ span ~ts:0. "a b" "x;y" 10. ] in
+  match Profile.fold evs with
+  | [ (stack, _) ] ->
+      Alcotest.(check string) "no space or semicolon inside a frame"
+        "a_b;x:y" stack
+  | rows -> Alcotest.failf "expected 1 stack, got %d" (List.length rows)
+
+(* ---------------- per-request attribution ---------------- *)
+
+let req id ts dur =
+  { Trace.kind = Trace.Span; cat = "request"; name = "httpd"; ts; dur;
+    value = float_of_int id }
+
+let test_slowest_requests () =
+  let evs =
+    [
+      req 1 0. 100.;
+      span ~ts:10. "syscall-work" "send" 40.;
+      span ~ts:50. "net.hop" "native-stack" 20.;
+      req 2 200. 300.;
+      span ~ts:210. "syscall-work" "recv" 250.;
+    ]
+  in
+  (match Profile.slowest ~k:1 evs with
+  | [ r ] ->
+      Alcotest.(check int) "slowest is request 2" 2 r.Profile.id;
+      Alcotest.(check (float 1e-9)) "its duration" 300. r.Profile.total;
+      Alcotest.(check (float 1e-9)) "accounted" 250. r.Profile.accounted
+  | rs -> Alcotest.failf "expected 1 request, got %d" (List.length rs));
+  match Profile.requests evs with
+  | [ r2; r1 ] ->
+      Alcotest.(check int) "slowest first" 2 r2.Profile.id;
+      Alcotest.(check int) "then the other" 1 r1.Profile.id;
+      (match r1.Profile.by_cat with
+      | [ ("syscall-work", 1, ns); ("net.hop", 1, ns') ] ->
+          Alcotest.(check (float 1e-9)) "syscall-work child" 40. ns;
+          Alcotest.(check (float 1e-9)) "net.hop child" 20. ns'
+      | _ -> Alcotest.fail "unexpected by_cat breakdown");
+      Alcotest.(check (float 1e-9)) "unattributed remainder" 40.
+        (r1.Profile.total -. r1.Profile.accounted)
+  | rs -> Alcotest.failf "expected 2 requests, got %d" (List.length rs)
+
+(* The acceptance shape: tracing httpd requests end-to-end explains
+   each one by mechanism. *)
+let traced_httpd_requests () =
+  let kernel = Xc_os.Kernel.create ~config:Xc_os.Kernel.xlibos_config () in
+  let vfs = Xc_os.Kernel.vfs kernel in
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Xc_os.Vfs.error_to_string e)
+  in
+  ok (Xc_os.Vfs.mkdir_p vfs "/var/www");
+  ok (Xc_os.Vfs.write_file vfs "/var/www/small.html" (Bytes.make 64 'x'));
+  ok (Xc_os.Vfs.write_file vfs "/var/www/big.html" (Bytes.make 60_000 'x'));
+  let server =
+    match Xc_apps.Httpd.create ~kernel ~port:80 ~docroot:"/var/www" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  with_trace (fun () ->
+      let (), captured =
+        Trace.capture (fun () ->
+            for i = 1 to 10 do
+              let path = if i mod 2 = 0 then "/big.html" else "/small.html" in
+              match Xc_apps.Httpd.get ~id:i server ~path with
+              | Ok (200, _) -> ()
+              | Ok (code, _) -> Alcotest.failf "request %d: got %d" i code
+              | Error e -> Alcotest.fail e
+            done)
+      in
+      captured.Trace.events)
+
+let test_httpd_slowest_shape () =
+  let evs = traced_httpd_requests () in
+  let reqs = Profile.requests evs in
+  Alcotest.(check int) "every request traced" 10 (List.length reqs);
+  (* The slowest requests are the big-page ones, and each is explained
+     by mechanism: syscall-work children account for (most of) it. *)
+  List.iteri
+    (fun i (r : Profile.request) ->
+      if i < 3 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "slow request %d is a big page" r.Profile.id)
+          true
+          (r.Profile.id mod 2 = 0);
+        Alcotest.(check bool) "has syscall-work children" true
+          (List.exists (fun (c, _, _) -> c = "syscall-work") r.Profile.by_cat);
+        Alcotest.(check bool) "children explain the request" true
+          (r.Profile.accounted > 0.9 *. r.Profile.total)
+      end)
+    reqs;
+  let rendered = Profile.render_slowest ~k:3 evs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rendering mentions %S" needle)
+        true (contains rendered needle))
+    [ "slowest 3 of 10 requests"; "httpd"; "syscall-work"; "%" ]
+
+(* ---------------- sampled fig9: rescale accuracy ---------------- *)
+
+let fig9_trace ~sample () =
+  with_trace ~sample (fun () ->
+      let (), captured =
+        Trace.capture (fun () ->
+            for _ = 1 to 32 do
+              List.iter
+                (fun s -> ignore (Xc_apps.Lb_experiment.run s))
+                Xc_apps.Lb_experiment.all
+            done)
+      in
+      captured)
+
+let test_fig9_sampled_rescale () =
+  let full = fig9_trace ~sample:1 () in
+  let sampled = fig9_trace ~sample:16 () in
+  Alcotest.(check bool) "sampling dropped events" true
+    (List.length sampled.Trace.events < List.length full.Trace.events);
+  let full_totals = Profile.totals_by_cat full.Trace.events in
+  let est_totals =
+    Profile.totals_by_cat ~streams:sampled.Trace.streams sampled.Trace.events
+  in
+  let grand_total = List.fold_left (fun acc (_, t) -> acc +. t) 0. full_totals in
+  List.iter
+    (fun (cat, full_ns) ->
+      (* Rescaled estimates must land within 5% for every category that
+         carries real weight (>= 1% of the trace). *)
+      if full_ns >= 0.01 *. grand_total then begin
+        let est_ns = try List.assoc cat est_totals with Not_found -> 0. in
+        let rel_err = Float.abs (est_ns -. full_ns) /. full_ns in
+        if rel_err > 0.05 then
+          Alcotest.failf "category %s: rescaled %.0fns vs full %.0fns (%.1f%%)"
+            cat est_ns full_ns (100. *. rel_err)
+      end)
+    full_totals
 
 (* ---------------- the Figure 4 shape ---------------- *)
 
@@ -257,7 +637,7 @@ let test_names_in () =
 let syscall_loop_trace runtime iters =
   let platform = Xc_platforms.Platform.create (Config.make runtime) in
   with_trace (fun () ->
-      let (), evs, dropped =
+      let (), captured =
         Trace.capture (fun () ->
             for _ = 1 to iters do
               ignore
@@ -265,8 +645,8 @@ let syscall_loop_trace runtime iters =
                    Xc_apps.Unixbench.Syscall_rate)
             done)
       in
-      Alcotest.(check int) "no drops" 0 dropped;
-      evs)
+      Alcotest.(check int) "no drops" 0 captured.Trace.dropped;
+      captured.Trace.events)
 
 let count_cat cat evs =
   List.length (List.filter (fun (e : Trace.event) -> e.Trace.cat = cat) evs)
@@ -275,7 +655,7 @@ let test_fig4_shape () =
   let iters = 20 in
   let docker = syscall_loop_trace Config.Docker iters in
   let xc = syscall_loop_trace Config.X_container iters in
-  let r = Diff.diff ~a:docker ~b:xc in
+  let r = Diff.diff ~a:docker ~b:xc () in
   (match Diff.dominant r with
   | Some row ->
       Alcotest.(check string) "entry path explains the delta" "syscall-entry"
@@ -302,25 +682,59 @@ let suites =
         Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
         Alcotest.test_case "cursor timeline" `Quick test_cursor_timeline;
         Alcotest.test_case "ring bound + dropped" `Quick test_ring_bound;
+        Alcotest.test_case "capacity change counts drops" `Quick
+          test_capacity_change_drops;
         Alcotest.test_case "capture nesting" `Quick test_capture_nesting;
         Alcotest.test_case "capture on exception" `Quick test_capture_exception;
         Alcotest.test_case "inject" `Quick test_inject;
         Alcotest.test_case "parallel merge deterministic" `Quick
           test_parallel_merge_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_ring_at_capacity;
+        QCheck_alcotest.to_alcotest qcheck_ring_over_capacity;
+      ] );
+    ( "trace.sampler",
+      [
+        Alcotest.test_case "fixed stride + exact accounting" `Quick
+          test_sampler_stride;
+        Alcotest.test_case "independent per-stream gates" `Quick
+          test_sampler_per_stream;
+        Alcotest.test_case "periodic streams sampled phase-fairly" `Quick
+          test_sampler_phase_fair;
+        Alcotest.test_case "capture/inject merges streams" `Quick
+          test_sampler_capture_inject_merge;
+        Alcotest.test_case "sampled parallel runs deterministic" `Quick
+          test_parallel_sampled_deterministic;
+        Alcotest.test_case "sampled fig9 rescales within 5%" `Quick
+          test_fig9_sampled_rescale;
       ] );
     ( "trace.export",
       [
         Alcotest.test_case "chrome round trip" `Quick test_chrome_round_trip;
         Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
+        Alcotest.test_case "span value round trip" `Quick
+          test_span_value_round_trip;
         Alcotest.test_case "multi-track concat" `Quick test_multi_track_concat;
         Alcotest.test_case "summary" `Quick test_summary_render;
         Alcotest.test_case "fmt_ns" `Quick test_fmt_ns;
+        Alcotest.test_case "of_file missing" `Quick test_of_file_missing;
+        Alcotest.test_case "of_file round trip" `Quick test_of_file_round_trip;
+      ] );
+    ( "trace.profile",
+      [
+        Alcotest.test_case "fold nests by containment" `Quick test_fold_nesting;
+        Alcotest.test_case "collapsed-stack output" `Quick test_to_folded_format;
+        Alcotest.test_case "frame escaping" `Quick test_fold_escapes_frames;
+        Alcotest.test_case "slowest requests" `Quick test_slowest_requests;
+        Alcotest.test_case "httpd --slowest shape" `Quick
+          test_httpd_slowest_shape;
       ] );
     ( "trace.diff",
       [
         Alcotest.test_case "aggregation and ranking" `Quick test_diff_math;
         Alcotest.test_case "identical traces" `Quick test_diff_identical;
         Alcotest.test_case "per-name rows" `Quick test_names_in;
+        Alcotest.test_case "sampled-side rescale" `Quick
+          test_diff_sampled_rescale;
         Alcotest.test_case "figure 4 shape" `Quick test_fig4_shape;
       ] );
   ]
