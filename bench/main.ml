@@ -1158,6 +1158,30 @@ let run_experiments ~jobs ~trace_out ~sample experiments =
          byte-identical-at-any-jobs contract (tier-1 cmps it too). *)
       let folded_path = Filename.remove_extension path ^ ".folded" in
       Xc_trace.Export.to_file ~path:folded_path tracks;
+      (* Tail-attribution sidecar: for every track that emitted request
+         spans, the p99 tail's per-mechanism breakdown as a tails CSV.
+         Same byte-identical-at-any-jobs contract as the other two. *)
+      let tails =
+        List.filter_map
+          (fun (name, events) ->
+            let att = Xc_trace.Profile.attribute events in
+            match Xc_trace.Profile.request_totals att with
+            | [] -> None
+            | totals ->
+                let cut =
+                  Xc_sim.Histogram.percentile_floor
+                    (Xc_sim.Histogram.of_samples totals)
+                    99.
+                in
+                Some
+                  (Xc_trace.Profile.tail_of ~label:name ~pct:99. ~cut_ns:cut
+                     att))
+          tracks
+      in
+      let tails_path = Filename.remove_extension path ^ ".tails" in
+      Xc_trace.Export.tails_to_file ~path:tails_path tails;
+      Printf.eprintf "[bench] wrote %s (%d request-emitting track(s))\n%!"
+        tails_path (List.length tails);
       let total = List.fold_left (fun a (_, t) -> a + List.length t) 0 tracks in
       if sample > 1 then begin
         let seen, kept =

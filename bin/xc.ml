@@ -437,6 +437,16 @@ let profile_binary_cmd =
 
 (* ---------------- xc sweep ---------------- *)
 
+(* Shared --jobs validation: explicit value must be positive, absent
+   falls back to $XC_JOBS (itself validated) or 1. *)
+let jobs_or_exit = function
+  | Some n when n >= 1 -> n
+  | Some n -> exit_err (Printf.sprintf "--jobs expects a positive integer, got %d" n)
+  | None -> (
+      match Xc_sim.Parallel.jobs_from_env () with
+      | Ok n -> n
+      | Error msg -> exit_err msg)
+
 let sweep_cmd =
   let containers =
     Arg.(value & opt (list int) [ 16; 64; 150 ]
@@ -452,15 +462,7 @@ let sweep_cmd =
         & info [ "duration" ] ~doc:"Simulated duration per point, in ms.")
   in
   let run counts jobs duration_ms =
-    let jobs =
-      match jobs with
-      | Some n when n >= 1 -> n
-      | Some n -> exit_err (Printf.sprintf "--jobs expects a positive integer, got %d" n)
-      | None -> (
-          match Xc_sim.Parallel.jobs_from_env () with
-          | Ok n -> n
-          | Error msg -> exit_err msg)
-    in
+    let jobs = jobs_or_exit jobs in
     let module CS = Xc_platforms.Cluster_sim in
     let point mode n =
       { (CS.default_config mode ~containers:n) with duration_ns = duration_ms *. 1e6 }
@@ -662,14 +664,47 @@ let run_traced_httpd config platform ~requests =
     ignore (Xc_apps.Httpd.get ~id:i ~deliver server ~path)
   done
 
+(* "--tail p99", "--tail 99.9", "--tail 99" all mean the same cut. *)
+let parse_tail_pct s =
+  let t = String.trim (String.lowercase_ascii s) in
+  let t =
+    if String.length t > 1 && t.[0] = 'p' then String.sub t 1 (String.length t - 1)
+    else t
+  in
+  match float_of_string_opt t with
+  | Some p when p > 0. && p <= 100. -> p
+  | _ ->
+      exit_err
+        (Printf.sprintf "--tail expects a percentile like p99 or 99.9, got %S" s)
+
+(* The percentile cut and tail attribution for one captured run; the
+   attribution partitions all traced self-time between requests and an
+   unattributed bucket, so the tail table is exact accounting, not
+   sampling.  Requires a request-emitting workload. *)
+let tail_of_events ~label ~pct events =
+  let module Profile = Xc_trace.Profile in
+  let att = Profile.attribute events in
+  match Profile.request_totals att with
+  | [] -> None
+  | totals ->
+      let cut =
+        Xc_sim.Histogram.percentile_floor
+          (Xc_sim.Histogram.of_samples totals)
+          pct
+      in
+      Some (Profile.tail_of ~label ~pct ~cut_ns:cut att)
+
 let trace_run_cmd =
   let exp_arg =
     Arg.(required & pos 0 (some string) None
         & info [] ~docv:"EXPERIMENT"
             ~doc:"A UnixBench loop (syscalls, execl, file-copy, pipe, \
                   context-switch, process-creation), an application \
-                  (nginx, memcached, redis, ...), or httpd (the \
-                  executable server, with per-request tracing).")
+                  (nginx, memcached, redis, ...), httpd (the \
+                  executable server, with per-request tracing), \
+                  closed-loop (the wrk-style driver with per-request \
+                  mechanism spans), or cluster (the Fig 9 scheduling \
+                  simulation, ditto).")
   in
   let runtime =
     Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
@@ -710,10 +745,33 @@ let trace_run_cmd =
     Arg.(value & opt int 0
         & info [ "slowest" ] ~docv:"K"
             ~doc:"Explain the K slowest requests end-to-end by mechanism \
-                  (workloads that emit request spans: httpd and the \
-                  closed-loop applications).")
+                  (workloads that emit request spans: httpd, closed-loop, \
+                  cluster and the closed-loop applications).  With --tail, \
+                  details the K slowest tail requests instead.")
   in
-  let run exp runtime cloud iterations out top sample folded slowest =
+  let tail =
+    Arg.(value & opt (some string) None
+        & info [ "tail" ] ~docv:"PCT"
+            ~doc:"Attribute the requests at or above this latency \
+                  percentile (e.g. p99, 99.9) to mechanisms, with exact \
+                  self-time partitioning.  Needs a request-emitting \
+                  workload.")
+  in
+  let tails_out =
+    Arg.(value & opt (some string) None
+        & info [ "tails" ] ~docv:"FILE"
+            ~doc:"With --tail, also write the tail breakdown as a tails \
+                  CSV (byte-identical across --jobs).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains for the cluster workload (default \
+                  \\$XC_JOBS or 1); traced output is identical at any \
+                  value.")
+  in
+  let run exp runtime cloud iterations out top sample folded slowest tail
+      tails_out jobs =
     let module Trace = Xc_trace.Trace in
     let module Export = Xc_trace.Export in
     let module Profile = Xc_trace.Profile in
@@ -721,8 +779,29 @@ let trace_run_cmd =
     let config = Xc_platforms.Config.make ~cloud runtime in
     let platform = Xc_platforms.Platform.create config in
     if sample < 1 then exit_err "--sample must be a positive integer";
+    let jobs = jobs_or_exit jobs in
+    let tail_pct = Option.map parse_tail_pct tail in
+    if tails_out <> None && tail_pct = None then
+      exit_err "--tails needs --tail";
     let workload =
       if exp = "httpd" then `Httpd
+      else if exp = "closed-loop" then begin
+        (* Both the driver config and the mechanism rows query platform
+           costs, and those queries emit trace spans themselves — price
+           everything before enabling the tracer. *)
+        let recipe = Xc_apps.Nginx.static_request_wrk in
+        let server = Xcontainers.Figures.server_for_public config platform `Nginx in
+        `Closed_loop
+          ( {
+              Xc_platforms.Closed_loop.default_config with
+              duration_ns = 3e7;
+              warmup_ns = 3e6;
+              trace_mechanisms = Xc_apps.Recipe.mechanisms platform recipe;
+            },
+            server )
+      end
+      else if exp = "cluster" then
+        `Cluster (Xc_platforms.Cluster_sim.config_of_platform platform)
       else
         match List.assoc_opt exp unixbench_workloads with
         | Some test -> `Unixbench test
@@ -731,11 +810,20 @@ let trace_run_cmd =
             | Some app -> `App app
             | None ->
                 exit_err
-                  (Printf.sprintf "unknown experiment %S; one of: httpd %s" exp
+                  (Printf.sprintf
+                     "unknown experiment %S; one of: httpd closed-loop cluster %s"
+                     exp
                      (String.concat ", "
                         (List.map fst unixbench_workloads @ List.map fst app_table))))
     in
-    Trace.enable ~sample ();
+    (* Request bundles are many small spans; give the ring room so no
+       request loses part of its bundle to drops. *)
+    let capacity =
+      match workload with
+      | `Closed_loop _ | `Cluster _ -> 1 lsl 18
+      | _ -> Trace.default_capacity
+    in
+    Trace.enable ~capacity ~sample ();
     let (), captured =
       Trace.capture (fun () ->
           match workload with
@@ -744,6 +832,10 @@ let trace_run_cmd =
                 ignore (Xc_apps.Unixbench.per_iteration_ns platform test)
               done
           | `Httpd -> run_traced_httpd config platform ~requests:iterations
+          | `Closed_loop (cl_config, server) ->
+              ignore (Xc_platforms.Closed_loop.run cl_config server)
+          | `Cluster cs_config ->
+              ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs_config ])
           | `App app ->
               let server = Xcontainers.Figures.server_for_public config platform app in
               ignore
@@ -767,10 +859,26 @@ let trace_run_cmd =
         sample;
       print_string (Profile.render_streams streams)
     end;
-    if slowest > 0 then begin
-      print_newline ();
-      print_string (Profile.render_slowest ~k:slowest events)
-    end;
+    (match tail_pct with
+    | None ->
+        if slowest > 0 then begin
+          print_newline ();
+          print_string (Profile.render_slowest ~k:slowest events)
+        end
+    | Some pct -> (
+        print_newline ();
+        match tail_of_events ~label ~pct events with
+        | None ->
+            print_string
+              "(no request spans in trace; --tail needs a request-emitting \
+               workload)\n"
+        | Some t -> (
+            print_string (Profile.render_tail ~slowest t);
+            match tails_out with
+            | Some path ->
+                Export.tails_to_file ~path [ t ];
+                Printf.printf "wrote %s\n" path
+            | None -> ())));
     if dropped > 0 then
       Printf.printf "(ring full: %d oldest events dropped)\n" dropped;
     (match out with
@@ -801,7 +909,7 @@ let trace_run_cmd =
     (Cmd.info "run"
        ~doc:"Trace one workload and print its per-category cost summary.")
     Term.(const run $ exp_arg $ runtime $ cloud $ iterations $ out $ top
-          $ sample $ folded $ slowest)
+          $ sample $ folded $ slowest $ tail $ tails_out $ jobs)
 
 let trace_diff_cmd =
   let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
@@ -819,11 +927,141 @@ let trace_diff_cmd =
        ~doc:"Explain the cost delta between two trace files, by category.")
     Term.(const run $ a_arg $ b_arg)
 
+(* ---------------- xc trace tails ---------------- *)
+
+let trace_tails_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some runtime_conv) None
+        & info [] ~docv:"A"
+            ~doc:"First runtime (docker, gvisor, clear, xen-container, \
+                  x-container).")
+  in
+  let b_arg =
+    Arg.(value & pos 1 (some runtime_conv) None
+        & info [] ~docv:"B"
+            ~doc:"Second runtime; when given, the two tails are diffed and \
+                  the mechanism explaining the p99 gap is ranked.")
+  in
+  let diff_flag =
+    Arg.(value & flag
+        & info [ "diff" ]
+            ~doc:"Diff the two tails (implied whenever B is given; kept as \
+                  an explicit spelling).")
+  in
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let containers =
+    Arg.(value & opt int 4
+        & info [ "containers" ] ~doc:"Containers in the cluster config.")
+  in
+  let connections =
+    Arg.(value & opt int 5
+        & info [ "connections" ]
+            ~doc:"Closed-loop connections per container.  At the default \
+                  5 a hierarchical runtime's vCPU saturates and queueing \
+                  (request self-time) dominates its tail; at 1 the load \
+                  is light and the diff isolates the per-mechanism cost \
+                  gap.")
+  in
+  let tail =
+    Arg.(value & opt string "p99"
+        & info [ "tail" ] ~docv:"PCT"
+            ~doc:"Tail percentile cut (e.g. p99, 99.9).")
+  in
+  let slowest =
+    Arg.(value & opt int 0
+        & info [ "slowest" ] ~docv:"K"
+            ~doc:"Without B: also detail the K slowest tail requests.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~docv:"FILE"
+            ~doc:"Write the tail(s) as a tails CSV (one block per side).")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+        & info [ "folded" ] ~docv:"FILE"
+            ~doc:"Write the raw span timelines of both sides as \
+                  collapsed-stack flamegraph lines.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains per cluster run (default \\$XC_JOBS or \
+                  1); output is identical at any value.")
+  in
+  let run a b _diff cloud containers connections tailstr slowest csv folded
+      jobs =
+    let module Trace = Xc_trace.Trace in
+    let module Export = Xc_trace.Export in
+    let module Profile = Xc_trace.Profile in
+    let pct = parse_tail_pct tailstr in
+    let jobs = jobs_or_exit jobs in
+    if containers < 1 then exit_err "--containers must be positive";
+    if connections < 1 then exit_err "--connections must be positive";
+    (* One traced fig-9-style cluster run per side.  The platform is
+       priced into the config before enabling the tracer (the cost
+       queries emit spans themselves), so the capture holds only the
+       run's own events and the tail partition is exact. *)
+    let side runtime =
+      let config = Xc_platforms.Config.make ~cloud runtime in
+      let platform = Xc_platforms.Platform.create config in
+      let cs =
+        Xc_platforms.Cluster_sim.config_of_platform ~containers ~connections
+          platform
+      in
+      Trace.enable ~capacity:(1 lsl 18) ();
+      let (), captured =
+        Trace.capture (fun () ->
+            ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs ]))
+      in
+      Trace.disable ();
+      let label = "cluster/" ^ Xc_platforms.Config.name config in
+      let t =
+        match tail_of_events ~label ~pct captured.Trace.events with
+        | Some t -> t
+        | None -> exit_err (label ^ ": trace has no request spans")
+      in
+      (t, (label, captured.Trace.events))
+    in
+    let ta, track_a = side a in
+    let tails, tracks =
+      match b with
+      | Some b ->
+          let tb, track_b = side b in
+          print_string (Xc_trace.Diff.render_tails ~a:ta ~b:tb);
+          ([ ta; tb ], [ track_a; track_b ])
+      | None ->
+          print_string (Profile.render_tail ~slowest ta);
+          ([ ta ], [ track_a ])
+    in
+    (match csv with
+    | Some path ->
+        Export.tails_to_file ~path tails;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match folded with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Export.to_folded tracks);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "tails"
+       ~doc:"Attribute the p99 tail of the Fig 9 cluster workload to \
+             mechanisms, and diff the tail composition of two runtimes.")
+    Term.(const run $ a_arg $ b_arg $ diff_flag $ cloud $ containers
+          $ connections $ tail $ slowest $ csv $ folded $ jobs)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:"Record execution traces and diff them: who wins and why.")
-    [ trace_run_cmd; trace_diff_cmd ]
+    [ trace_run_cmd; trace_diff_cmd; trace_tails_cmd ]
 
 (* ---------------- xc bench ---------------- *)
 

@@ -14,6 +14,7 @@ type config = {
   duration_ns : float;
   warmup_ns : float;
   seed : int;
+  trace_mechanisms : (string * string * float) list;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     duration_ns = 2e9;
     warmup_ns = 2e8;
     seed = 42;
+    trace_mechanisms = [];
   }
 
 type result = {
@@ -53,6 +55,15 @@ let run_states config states =
   let engine = Engine.create () in
   let measure_start = config.warmup_ns in
   let measure_end = config.warmup_ns +. config.duration_ns in
+  (* Bundle lane for tail attribution: when [trace_mechanisms] is set,
+     each measured request's spans (request + synthetic children) are
+     re-based onto a sequential region past the end of the simulated
+     timeline.  Concurrent requests genuinely overlap in simulated
+     time, and overlapping windows cannot be partitioned exactly by a
+     containment sweep; packing the bundles end to end makes
+     [Profile.attribute] exact.  The cursor is shared by every server
+     in the run so bundles never collide across states. *)
+  let synth_cursor = ref (measure_end +. config.rtt_ns +. 1e9) in
   let rec client_loop st _engine =
     let now = Engine.now engine in
     if now < measure_end then begin
@@ -70,13 +81,56 @@ let run_states config states =
           if sent_at >= measure_start && now <= measure_end then begin
             st.completed <- st.completed + 1;
             Histogram.add st.latencies (now -. sent_at);
-            if Xc_trace.Trace.enabled () then
+            if Xc_trace.Trace.enabled () then begin
               (* value = per-server completion index: a stable request
                  id that per-request tooling (Profile.slowest) reads
                  back from the span. *)
-              Xc_trace.Trace.span ~at:sent_at
+              let bundle = config.trace_mechanisms <> [] in
+              (* [shift] re-bases the whole bundle onto the sequential
+                 lane; 0 keeps the legacy real-time request span when no
+                 mechanism decomposition was configured. *)
+              let shift =
+                if bundle then begin
+                  let c = !synth_cursor in
+                  synth_cursor := c +. (now -. sent_at);
+                  c -. sent_at
+                end
+                else 0.
+              in
+              Xc_trace.Trace.span ~at:(sent_at +. shift)
                 ~value:(float_of_int st.completed) ~cat:"request"
-                ~name:"closed-loop" (now -. sent_at)
+                ~name:"closed-loop" (now -. sent_at);
+              (* Synthetic mechanism children nested inside the request
+                 window, so tail attribution can partition it exactly:
+                 the client->server hop, queue wait, the configured
+                 mechanism decomposition laid out serially over the
+                 service window (clamped — jitter can make the sampled
+                 service shorter than the deterministic decomposition;
+                 any excess stays request self-time), and the return
+                 hop. *)
+              if bundle then begin
+                let half = config.rtt_ns /. 2. in
+                if half > 0. then
+                  Xc_trace.Trace.span ~at:(sent_at +. shift) ~cat:"net.hop"
+                    ~name:"client->server" half;
+                if start -. arrival > 0. then
+                  Xc_trace.Trace.span ~at:(arrival +. shift) ~cat:"sched"
+                    ~name:"queue-wait" (start -. arrival);
+                let cursor = ref (start +. shift) in
+                let budget = finish +. shift in
+                List.iter
+                  (fun (cat, mname, ns) ->
+                    let d = Float.min ns (budget -. !cursor) in
+                    if d > 0. then begin
+                      Xc_trace.Trace.span ~at:!cursor ~cat ~name:mname d;
+                      cursor := !cursor +. d
+                    end)
+                  config.trace_mechanisms;
+                if half > 0. then
+                  Xc_trace.Trace.span ~at:(finish +. shift) ~cat:"net.hop"
+                    ~name:"server->client" half
+              end
+            end
           end;
           client_loop st engine)
     end

@@ -18,6 +18,7 @@ type config = {
   duration_ns : float;
   warmup_ns : float;
   seed : int;
+  request_mech : (string * string * float) list array;
 }
 
 let default_config mode ~containers =
@@ -45,6 +46,7 @@ let default_config mode ~containers =
     duration_ns = 3e8;
     warmup_ns = 5e7;
     seed = 17;
+    request_mech = [||];
   }
 
 type result = {
@@ -64,6 +66,8 @@ type burst = {
   mutable remaining : float;
   mutable stage : int;
   sent_at : float;
+  mutable switch_ns : float;
+      (* scheduler switch time charged while serving this request *)
 }
 
 (* A schedulable entity (a process under Flat, a container/vCPU under
@@ -96,6 +100,14 @@ let run config =
   let measure_start = config.warmup_ns in
   let measure_end = config.warmup_ns +. config.duration_ns in
   let n_stages = Array.length config.stage_cpu_ns in
+  (* Bundle lane for tail attribution: when [request_mech] is set, each
+     measured request's spans (request + synthetic children) are
+     re-based onto a sequential region past the end of the simulated
+     timeline, packed end to end.  Concurrent requests overlap in
+     simulated time, and overlapping windows cannot be partitioned
+     exactly by a containment sweep; the sequential lane makes
+     [Profile.attribute] exact.  Durations are untouched. *)
+  let synth_cursor = ref (measure_end +. config.client_rtt_ns +. 1e9) in
 
   (* Entities: one per container (hier) or one per process (flat). *)
   let n_entities =
@@ -153,10 +165,52 @@ let run config =
         if b.sent_at >= measure_start && now' <= measure_end then begin
           incr completed;
           Histogram.add latencies (now' -. b.sent_at);
-          if Xc_trace.Trace.enabled () then
-            Xc_trace.Trace.span ~at:b.sent_at
+          if Xc_trace.Trace.enabled () then begin
+            let bundle = Array.length config.request_mech > 0 in
+            (* [shift] re-bases the whole bundle onto the sequential
+               lane; 0 keeps the legacy real-time request span when no
+               mechanism decomposition was configured. *)
+            let shift =
+              if bundle then begin
+                let c = !synth_cursor in
+                synth_cursor := c +. (now' -. b.sent_at);
+                c -. b.sent_at
+              end
+              else 0.
+            in
+            Xc_trace.Trace.span ~at:(b.sent_at +. shift)
               ~value:(float_of_int !completed) ~cat:"request" ~name:"cluster"
-              (now' -. b.sent_at)
+              (now' -. b.sent_at);
+            (* Synthetic children nested inside the request window: the
+               two half-RTT hops, each stage's mechanism decomposition
+               laid out serially and clamped to the window, and one
+               exact [ctx-switch] row carrying the scheduler switch
+               time this request was actually charged (accumulated
+               per-burst in [dispatch]).  Scheduling/queueing delay
+               stays request self-time. *)
+            if bundle then begin
+              let half = config.client_rtt_ns /. 2. in
+              if half > 0. then
+                Xc_trace.Trace.span ~at:(b.sent_at +. shift) ~cat:"net.hop"
+                  ~name:"client->server" half;
+              let cursor = ref (b.sent_at +. shift +. half) in
+              let budget = now' +. shift -. half in
+              let emit cat mname ns =
+                let d = Float.min ns (budget -. !cursor) in
+                if d > 0. then begin
+                  Xc_trace.Trace.span ~at:!cursor ~cat ~name:mname d;
+                  cursor := !cursor +. d
+                end
+              in
+              Array.iter
+                (List.iter (fun (cat, mname, ns) -> emit cat mname ns))
+                config.request_mech;
+              if b.switch_ns > 0. then emit "ctx-switch" "sched" b.switch_ns;
+              if half > 0. then
+                Xc_trace.Trace.span ~at:(now' +. shift -. half) ~cat:"net.hop"
+                  ~name:"server->client" half
+            end
+          end
         end;
         (* Closed loop: the client immediately sends the next request. *)
         if now' < measure_end then send_request engine b.container)
@@ -171,6 +225,7 @@ let run config =
         remaining = config.stage_cpu_ns.(0);
         stage = 0;
         sent_at = now;
+        switch_ns = 0.;
       }
     in
     Engine.schedule engine arrive_at (fun engine -> enqueue_burst engine b)
@@ -257,7 +312,16 @@ let run config =
               end
               else 0.
             in
-            if switch_cost > 0. && Xc_trace.Trace.enabled () then
+            b.switch_ns <- b.switch_ns +. switch_cost;
+            (* Per-dispatch switch spans only when no per-request bundle
+               is configured: the bundle carries the same time as one
+               exact per-request [ctx-switch] row, and emitting both
+               would double-count switching in summaries. *)
+            if
+              switch_cost > 0.
+              && Array.length config.request_mech = 0
+              && Xc_trace.Trace.enabled ()
+            then
               Xc_trace.Trace.span ~at:now ~cat:"ctx-switch" ~name:!switch_kind
                 switch_cost;
             core.last_container <- b.container;
@@ -299,3 +363,79 @@ let run config =
   }
 
 let run_sweep ?jobs configs = Xc_sim.Parallel.map ?jobs run configs
+
+(* ---------------- Platform-derived configs ---------------- *)
+
+module K = Xc_os.Kernel
+
+let rep n ops = List.concat (List.init n (fun _ -> ops))
+
+(* The four processes of the webdevops-style PHP container and the
+   syscall mix each one issues per request.  The counts are what make
+   the platform's entry-path cost visible at the tail: ~160 syscalls
+   per request across the stages, as in the paper's Fig 9 workload. *)
+let stage_profiles =
+  [|
+    ( "nginx", 18_000.,
+      rep 12 [ K.Epoll; K.Socket_recv 256; K.Socket_send 1024; K.Cheap Getpid ]
+    );
+    ( "php-fpm", 95_000.,
+      rep 16 [ K.Stat_op; K.Open_op; K.File_read 4096; K.Cheap Close ]
+      @ rep 8 [ K.Socket_send 512; K.Socket_recv 512 ] );
+    ("opcache", 22_000., rep 8 [ K.Stat_op; K.File_read 2048; K.Cheap Fstat ]);
+    ("logger", 12_000., rep 10 [ K.File_write 256 ]);
+  |]
+
+let config_of_platform ?(containers = 4) ?(connections = 5) platform =
+  (* All platform cost queries happen here, before any traced run —
+     the queries themselves emit trace spans when tracing is enabled,
+     which would pollute the capture and break request attribution. *)
+  let entry = Platform.syscall_entry_ns platform in
+  let mech_of (_, user, ops) =
+    let n = List.length ops in
+    let work =
+      List.fold_left
+        (fun acc op -> acc +. (Platform.syscall_ns platform op -. entry))
+        0. ops
+    in
+    [
+      ("cpu", "user", user);
+      ("syscall-entry", "entry", float_of_int n *. entry);
+      ("syscall-work", "kernel", work);
+    ]
+  in
+  let request_mech = Array.map mech_of stage_profiles in
+  let stage_cpu_ns =
+    Array.map (List.fold_left (fun a (_, _, ns) -> a +. ns) 0.) request_mech
+  in
+  let mode =
+    if Platform.hierarchical_scheduling platform then Hierarchical else Flat
+  in
+  let processes_per_container = Array.length stage_profiles in
+  let n_entities =
+    match mode with
+    | Hierarchical -> containers
+    | Flat -> containers * processes_per_container
+  in
+  (* The runnable population is fixed for the whole run (closed loop,
+     fixed container count), so the switch is priced once and wrapped
+     in a constant closure — [run] must not call back into the
+     platform mid-capture. *)
+  let cswitch = Platform.container_switch_ns platform ~runnable:n_entities in
+  let pswitch = Platform.process_switch_ns platform in
+  {
+    mode;
+    pcpus = 16;
+    containers;
+    connections_per_container = connections;
+    stage_cpu_ns;
+    processes_per_container;
+    client_rtt_ns = 1e6;
+    timeslice_ns = 1e6;
+    container_switch_ns = (fun ~runnable:_ -> cswitch);
+    process_switch_ns = pswitch;
+    duration_ns = 3e8;
+    warmup_ns = 5e7;
+    seed = 17;
+    request_mech;
+  }

@@ -38,6 +38,20 @@ type config = {
   duration_ns : float;
   warmup_ns : float;
   seed : int;
+  request_mech : (string * string * float) list array;
+      (** When tracing is enabled and this is non-empty, each measured
+          request emits a {e bundle}: its [request] span plus synthetic
+          mechanism child spans — the two half-RTT [net.hop]s, per
+          stage these [(cat, name, ns)] rows laid out serially over the
+          window (clamped), and one exact [ctx-switch] row carrying the
+          scheduler switch time the request was actually charged
+          (per-dispatch switch spans are suppressed in this mode so the
+          time is not counted twice).  Bundles are re-based onto a
+          sequential lane past the end of the simulated timeline
+          (concurrent requests overlap in real time, which would defeat
+          exact attribution); durations are untouched.
+          Scheduling/queueing delay stays request self-time.  One entry
+          per stage.  The default [[||]] changes nothing. *)
 }
 
 val default_config : mode -> containers:int -> config
@@ -62,3 +76,18 @@ val run_sweep : ?jobs:int -> config list -> result list
     {!Xc_sim.Parallel}.  Results come back in input order and are
     identical to [List.map run] — each point has its own engine and
     PRNG, so the fan-out cannot perturb them. *)
+
+val config_of_platform :
+  ?containers:int -> ?connections:int -> Platform.t -> config
+(** A Fig 9-style cluster config priced from a {!Platform}: the four
+    webdevops container processes (nginx, php-fpm, opcache, logger)
+    with stage CPU times decomposed into user / syscall-entry /
+    syscall-work on that platform (~160 syscalls per request), the
+    scheduling mode from {!Platform.hierarchical_scheduling}, the
+    platform's switch costs (pre-priced — [run] never calls back into
+    the platform), and [request_mech] filled in so traced runs support
+    per-request tail attribution.  Call while tracing is disabled: the
+    cost queries themselves emit spans.  Default 4 [containers] with 5
+    [connections] each; at 5 a hierarchical platform's vCPU saturates
+    and queueing delay dominates its tail, at 1 the load is light and
+    the cross-platform tail delta isolates the mechanism costs. *)

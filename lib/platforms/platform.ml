@@ -29,6 +29,12 @@ let needs_hypervisor (c : Config.t) =
   | Xen_container | X_container | Xen_hvm | Xen_pv | Unikernel -> true
   | Docker | Gvisor | Clear_container | Graphene -> false
 
+(* Whether containers on this runtime are scheduled as vCPUs under the
+   hypervisor's credit scheduler (a two-level hierarchy) rather than as
+   host processes on one flat runqueue — decides which Cluster_sim mode
+   models it. *)
+let hierarchical_scheduling t = needs_hypervisor t.config
+
 let create (config : Config.t) =
   let xkernel =
     if needs_hypervisor config then begin

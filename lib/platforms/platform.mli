@@ -30,6 +30,12 @@ val container_switch_ns : t -> runnable:int -> float
 (** Switch between containers ([runnable] = schedulable entities at that
     level: processes for Docker, vCPUs for Xen-family). *)
 
+val hierarchical_scheduling : t -> bool
+(** Whether containers are scheduled as vCPUs under a hypervisor credit
+    scheduler (two-level hierarchy: Xen-family, X-Containers) rather
+    than as host processes on a flat runqueue (Docker, gVisor, Clear).
+    Picks the {!Cluster_sim} scheduling mode for this runtime. *)
+
 val llc_pressure_ns : runnable:int -> float
 (** The cache-pollution component of a switch: zero below the LLC
     threshold, ramping to the full refill penalty (see

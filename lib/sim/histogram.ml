@@ -41,22 +41,42 @@ let add t v =
 
 let count t = t.count
 
-let percentile t p =
-  if t.count = 0 then 0.
+let of_samples xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let floor_of_bucket i =
+  if i = 0 then 0.
+  else begin
+    let i = i - 1 in
+    let exponent = i / sub_buckets and sub = i mod sub_buckets in
+    let base = Float.pow 2. (float_of_int exponent) in
+    base *. (1.0 +. (float_of_int sub /. float_of_int sub_buckets))
+  end
+
+let percentile_bucket t p =
+  if t.count = 0 then n_buckets - 1
   else begin
     let rank =
       int_of_float (Float.round (p /. 100. *. float_of_int t.count))
     in
     let rank = Stdlib.max 1 (Stdlib.min t.count rank) in
     let rec scan i seen =
-      if i >= n_buckets then value_of_bucket (n_buckets - 1)
+      if i >= n_buckets then n_buckets - 1
       else begin
         let seen = seen + t.buckets.(i) in
-        if seen >= rank then value_of_bucket i else scan (i + 1) seen
+        if seen >= rank then i else scan (i + 1) seen
       end
     in
     scan 0 0
   end
+
+let percentile t p =
+  if t.count = 0 then 0. else value_of_bucket (percentile_bucket t p)
+
+let percentile_floor t p =
+  if t.count = 0 then 0. else floor_of_bucket (percentile_bucket t p)
 
 let median t = percentile t 50.
 let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count

@@ -14,9 +14,20 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+val of_samples : float list -> t
+(** Histogram over a finite sample list — e.g. the request totals of a
+    trace attribution, feeding a percentile cut. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]; returns a representative value
     of the bucket containing that rank.  [0.] when empty. *)
+
+val percentile_floor : t -> float -> float
+(** Like {!percentile}, but returns the {e lower bound} of the bucket
+    containing the rank instead of its midpoint.  Every sample at or
+    above the rank is [>=] this value, so it is the right cut for
+    selecting a tail by [>=] — the midpoint can sit above every sample
+    in its own bucket and select nothing.  [0.] when empty. *)
 
 val median : t -> float
 val mean : t -> float

@@ -121,3 +121,107 @@ let render ?(a_label = "A") ?(b_label = "B") ?(a_streams = []) ?(b_streams = [])
             (Export.fmt_ns (delta n)))
         detail);
   Buffer.contents buf
+
+(* ---------------- Tail diffs ---------------- *)
+
+type tail_row = {
+  mech : string;
+  a_spans : int;
+  a_mean_ns : float;
+  b_spans : int;
+  b_mean_ns : float;
+}
+
+let tail_delta r = r.b_mean_ns -. r.a_mean_ns
+
+type tail_report = {
+  tail_rows : tail_row list;
+  a_tail : Profile.tail;
+  b_tail : Profile.tail;
+}
+
+(* Tail sizes differ between the two sides (each side gets its own
+   percentile cut), so the comparable quantity is mean ns per tail
+   request, not the raw aggregate. *)
+let diff_tails ~(a : Profile.tail) ~(b : Profile.tail) =
+  let mean (t : Profile.tail) ns = ns /. float_of_int (Stdlib.max 1 t.n_tail) in
+  let rows_with_self (t : Profile.tail) =
+    t.tail_mech @ [ (Profile.self_frame, t.n_tail, t.tail_self_ns) ]
+  in
+  let lookup t mech =
+    match List.find_opt (fun (c, _, _) -> c = mech) (rows_with_self t) with
+    | Some (_, n, ns) -> (n, mean t ns)
+    | None -> (0, 0.)
+  in
+  let keys =
+    let seen = Hashtbl.create 16 in
+    List.iter (fun (c, _, _) -> Hashtbl.replace seen c ()) (rows_with_self a);
+    List.iter (fun (c, _, _) -> Hashtbl.replace seen c ()) (rows_with_self b);
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  in
+  let tail_rows =
+    List.map
+      (fun mech ->
+        let a_spans, a_mean_ns = lookup a mech in
+        let b_spans, b_mean_ns = lookup b mech in
+        { mech; a_spans; a_mean_ns; b_spans; b_mean_ns })
+      keys
+    |> List.sort (fun x y ->
+           match
+             compare (Float.abs (tail_delta y)) (Float.abs (tail_delta x))
+           with
+           | 0 -> compare x.mech y.mech
+           | c -> c)
+  in
+  { tail_rows; a_tail = a; b_tail = b }
+
+let tail_abs_delta_total report =
+  List.fold_left (fun acc r -> acc +. Float.abs (tail_delta r)) 0. report.tail_rows
+
+let dominant_tail report =
+  match report.tail_rows with [] -> None | r :: _ -> Some r
+
+let dominant_tail_share report =
+  match dominant_tail report with
+  | None -> 0.
+  | Some r ->
+      let total = tail_abs_delta_total report in
+      if total <= 0. then 0. else Float.abs (tail_delta r) /. total
+
+let render_tails ~(a : Profile.tail) ~(b : Profile.tail) =
+  let report = diff_tails ~a ~b in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "tail diff (p%g): A = %s, B = %s\n" a.Profile.pct
+    a.Profile.label b.Profile.label;
+  let side name (t : Profile.tail) =
+    let mean =
+      if t.n_tail > 0 then t.tail_total_ns /. float_of_int t.n_tail else 0.
+    in
+    Printf.bprintf buf
+      "%s: %d of %d requests at or above %s; mean tail latency %s\n" name
+      t.n_tail t.n_requests
+      (Export.fmt_ns t.cut_ns)
+      (Export.fmt_ns mean)
+  in
+  side "A" a;
+  side "B" b;
+  Printf.bprintf buf "%-18s %8s %12s %8s %12s %12s\n" "mechanism" "A spans"
+    "A mean/req" "B spans" "B mean/req" "delta(B-A)";
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "%-18s %8d %12s %8d %12s %12s\n" r.mech r.a_spans
+        (Export.fmt_ns r.a_mean_ns)
+        r.b_spans
+        (Export.fmt_ns r.b_mean_ns)
+        (Export.fmt_ns (tail_delta r)))
+    report.tail_rows;
+  (match dominant_tail report with
+  | None -> Buffer.add_string buf "(no tail on either side)\n"
+  | Some r when Float.abs (tail_delta r) <= 0. ->
+      Buffer.add_string buf "tails agree in every mechanism\n"
+  | Some r ->
+      Printf.bprintf buf
+        "dominant tail delta: %s (%.0f%% of the absolute per-mechanism delta)\n"
+        r.mech
+        (100. *. dominant_tail_share report));
+  Buffer.contents buf

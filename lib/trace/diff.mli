@@ -66,3 +66,46 @@ val render :
 (** Full human-readable diff: per-category table, totals line, the
     dominant category with its share, and a per-name breakdown of that
     category. *)
+
+(** {1 Tail diffs}
+
+    Compare the p-tail composition of two platforms.  Each side's tail
+    was cut at its own percentile (different absolute latencies, often
+    different tail sizes), so rows compare {e mean nanoseconds per
+    tail request} — the per-request cost of each mechanism among the
+    slow requests — and rank mechanisms by how much of the per-request
+    p99 gap they explain. *)
+
+type tail_row = {
+  mech : string;
+      (** mechanism category, or {!Profile.self_frame} for uncovered
+          request-window time (queueing, jitter) *)
+  a_spans : int;  (** mechanism spans in A's tail (tail size for self) *)
+  a_mean_ns : float;  (** mean ns per tail request, side A *)
+  b_spans : int;
+  b_mean_ns : float;
+}
+
+val tail_delta : tail_row -> float
+(** [b_mean_ns -. a_mean_ns]: positive means B's tail requests spend
+    more in this mechanism. *)
+
+type tail_report = {
+  tail_rows : tail_row list;  (** sorted by |delta| descending, then name *)
+  a_tail : Profile.tail;
+  b_tail : Profile.tail;
+}
+
+val diff_tails : a:Profile.tail -> b:Profile.tail -> tail_report
+
+val dominant_tail : tail_report -> tail_row option
+(** The mechanism explaining the largest share of the absolute
+    per-request tail delta ([None] when both tails are empty). *)
+
+val dominant_tail_share : tail_report -> float
+(** |delta| of {!dominant_tail} over the sum of |delta| across rows. *)
+
+val render_tails : a:Profile.tail -> b:Profile.tail -> string
+(** Human-readable tail diff: one summary line per side (tail size,
+    cut, mean tail latency), the per-mechanism table, and the dominant
+    mechanism with its share. *)

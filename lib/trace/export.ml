@@ -238,6 +238,122 @@ let of_file path =
          a short read is data corruption, not a crash. *)
       Error (path ^ ": truncated file")
 
+(* ---------------- Tails CSV ---------------- *)
+
+(* One row per (tail, mechanism); the five metadata fields repeat on
+   every row so the file stays line-oriented and trivially groupable.
+   Two pseudo-mechanism rows close each tail: [(request-self)] carries
+   the uncovered window time and [(window-total)] the end-to-end sum —
+   a parser can (and does) treat their absence as truncation. *)
+
+let tails_csv_header = "label,pct,cut_ns,n_requests,n_tail,mech,spans,self_ns"
+let total_frame = "(window-total)"
+
+let to_tails_csv (tails : Profile.tail list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf tails_csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (t : Profile.tail) ->
+      let label = sanitize t.label in
+      let row mech spans ns =
+        Printf.bprintf buf "%s,%.3f,%.3f,%d,%d,%s,%d,%.3f\n" label t.pct
+          t.cut_ns t.n_requests t.n_tail (sanitize mech) spans ns
+      in
+      List.iter (fun (cat, n, ns) -> row cat n ns) t.tail_mech;
+      row Profile.self_frame 0 t.tail_self_ns;
+      row total_frame 0 t.tail_total_ns)
+    tails;
+  Buffer.contents buf
+
+let tails_to_file ~path tails =
+  let oc = open_out path in
+  output_string oc (to_tails_csv tails);
+  close_out oc
+
+(* Mutable per-tail accumulator while grouping parsed rows. *)
+type tail_group = {
+  mutable g_mech : (string * int * float) list; (* reversed *)
+  mutable g_self : float option;
+  mutable g_total : float option;
+}
+
+let tails_of_string s =
+  (* Group rows by their metadata key in encounter order. *)
+  let groups = ref [] in
+  let group_of key =
+    match List.assoc_opt key !groups with
+    | Some g -> g
+    | None ->
+        let g = { g_mech = []; g_self = None; g_total = None } in
+        groups := (key, g) :: !groups;
+        g
+  in
+  let parse_line lineno line =
+    if line = "" || line = tails_csv_header then Ok ()
+    else
+      match String.split_on_char ',' line with
+      | [ label; pct; cut; nreq; ntail; mech; spans; ns ] -> (
+          match
+            ( float_of_string_opt pct, float_of_string_opt cut,
+              int_of_string_opt nreq, int_of_string_opt ntail,
+              int_of_string_opt spans, float_of_string_opt ns )
+          with
+          | Some pct, Some cut, Some nreq, Some ntail, Some spans, Some ns ->
+              let g = group_of (label, pct, cut, nreq, ntail) in
+              if mech = Profile.self_frame then g.g_self <- Some ns
+              else if mech = total_frame then g.g_total <- Some ns
+              else g.g_mech <- (mech, spans, ns) :: g.g_mech;
+              Ok ()
+          | _ -> Error (Printf.sprintf "tails line %d: bad field" lineno))
+      | _ -> Error (Printf.sprintf "tails line %d: expected 8 fields" lineno)
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok () -> go (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  match go 1 (lines_of s) with
+  | Error _ as e -> e
+  | Ok () ->
+      (* [!groups] is in reverse encounter order; consing while walking
+         it restores file order.  Per-request detail is not serialised,
+         so parsed tails come back with [tail = []]. *)
+      let rec build acc = function
+        | [] -> Ok acc
+        | ((label, pct, cut_ns, n_requests, n_tail), g) :: rest -> (
+            match (g.g_self, g.g_total) with
+            | Some tail_self_ns, Some tail_total_ns ->
+                build
+                  ({ Profile.label; pct; cut_ns; n_requests; n_tail;
+                     tail = []; tail_mech = List.rev g.g_mech; tail_self_ns;
+                     tail_total_ns }
+                  :: acc)
+                  rest
+            | None, _ ->
+                Error
+                  (Printf.sprintf "tails: %S is missing its %s row" label
+                     Profile.self_frame)
+            | Some _, None ->
+                Error
+                  (Printf.sprintf "tails: %S is missing its %s row" label
+                     total_frame))
+      in
+      build [] !groups
+
+let tails_of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> tails_of_string data
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated file")
+
 (* ---------------- Terminal summary ---------------- *)
 
 let render_summary ?(top = 5) evs =

@@ -37,6 +37,30 @@ val of_file : string -> (Trace.event list, string) result
     it; truncated-while-reading files and I/O errors are [Error]s, not
     exceptions. *)
 
+(** {1 Tails CSV}
+
+    Serialisation for {!Profile.tail} values (the [.tails] bench
+    sidecar and [--tails]/[--csv] CLI artifacts).  One row per (tail,
+    mechanism) with the tail's metadata repeated, closed by a
+    [(request-self)] and a [(window-total)] pseudo row; fixed-precision
+    floats keep equal tails byte-identical.  Parsing accepts exactly
+    what {!to_tails_csv} writes; per-request detail is not serialised,
+    so parsed tails come back with [tail = []]. *)
+
+val tails_csv_header : string
+
+val to_tails_csv : Profile.tail list -> string
+
+val tails_to_file : path:string -> Profile.tail list -> unit
+
+val tails_of_string : string -> (Profile.tail list, string) result
+(** Malformed rows, unparsable fields and tails missing either pseudo
+    row are [Error]s (truncation detection), never exceptions. *)
+
+val tails_of_file : string -> (Profile.tail list, string) result
+(** Reads the whole file (channel closed even on failure) and parses
+    it; same [Error] contract as {!of_file}. *)
+
 val render_summary : ?top:int -> Trace.event list -> string
 (** Per-category cost table, categories sorted by total span time
     descending, with the [top] (default 5) most expensive names inside

@@ -74,3 +74,81 @@ val render_slowest : ?k:int -> Trace.event list -> string
 (** Terminal rendering of the [k] (default 3) slowest requests: one
     block per request with its per-category time breakdown, percentage
     of end-to-end time, and any unattributed remainder. *)
+
+(** {1 Exact self-time tail attribution}
+
+    {!requests} above counts a child span's full duration into every
+    request window containing its start — simple, but a nested child
+    is double-counted and queueing overlap leaks across requests.  The
+    attribution below instead runs the same nesting sweep as {!fold}
+    and charges each span's {e self}-time (duration minus direct
+    children) to its innermost enclosing [request] span.  Self-times
+    telescope, so the per-request buckets plus the [unattributed]
+    remainder sum {e exactly} to the total traced self-time (the sum
+    of root-span durations) — a partition, with no double counting
+    across nested or overlapping requests. *)
+
+type attributed_request = {
+  req_id : int;  (** from the request span's [value] field *)
+  req_name : string;  (** request span name, e.g. ["cluster"] *)
+  req_start : float;  (** span start, ns *)
+  req_total : float;  (** end-to-end duration, ns *)
+  req_self : float;
+      (** request window time not covered by any mechanism span:
+          queueing, jitter, think time.  Can be negative when direct
+          children overlap each other — kept so the partition stays
+          exact. *)
+  req_mech : (string * int * float) list;
+      (** (category, span count, self ns) of mechanism spans owned by
+          this request, largest first (ties by category) *)
+}
+
+type attribution = {
+  areqs : attributed_request list;
+      (** slowest first (ties by start then id), like {!requests} *)
+  unattributed_ns : float;
+      (** self-time of spans with no enclosing request span *)
+  total_self_ns : float;
+      (** sum of root-span durations; equals the sum over [areqs] of
+          [req_self + sum req_mech] plus [unattributed_ns] *)
+}
+
+val attribute : Trace.event list -> attribution
+(** Sweep the span timeline (same canonical order and epsilon as
+    {!fold}) and partition all self-time between enclosing requests
+    and the unattributed bucket. *)
+
+val request_totals : attribution -> float list
+(** End-to-end durations of all requests, slowest first — feed these
+    to [Xc_sim.Histogram.of_samples] to compute a percentile cut. *)
+
+(** {1 Tail cuts} *)
+
+type tail = {
+  label : string;  (** which platform/run this tail describes *)
+  pct : float;  (** the percentile the cut was computed at *)
+  cut_ns : float;  (** latency cut, ns *)
+  n_requests : int;  (** requests in the whole attribution *)
+  n_tail : int;  (** requests with [req_total >= cut_ns] *)
+  tail : attributed_request list;  (** the tail requests, slowest first *)
+  tail_mech : (string * int * float) list;
+      (** per-mechanism (category, span count, self ns) aggregated
+          over the tail requests, largest first *)
+  tail_self_ns : float;  (** sum of [req_self] over the tail *)
+  tail_total_ns : float;  (** sum of [req_total] over the tail *)
+}
+
+val self_frame : string
+(** The pseudo-mechanism label ["(request-self)"] used by renderers,
+    the tails CSV and tail diffs for uncovered request-window time. *)
+
+val tail_of : ?label:string -> pct:float -> cut_ns:float -> attribution -> tail
+(** Aggregate the requests at or above [cut_ns].  The cut itself is
+    the caller's business (this library has no histogram); [pct] is
+    carried along for rendering and export only. *)
+
+val render_tail : ?slowest:int -> tail -> string
+(** Terminal rendering: the aggregate per-mechanism table (share of
+    attributed tail time, with a [(request-self)] row for uncovered
+    window time), and with [~slowest:k > 0] a per-request block for
+    the [k] slowest tail requests. *)
