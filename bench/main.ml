@@ -22,7 +22,13 @@
    stack flamegraph sidecar (same basename, .folded).  --sample N
    keeps one event per window of N per (cat,name) stream so long runs
    fit one ring.  Trace, folded sidecar and stdout are all
-   deterministic and byte-identical at any --jobs. *)
+   deterministic and byte-identical at any --jobs.
+
+   --timeseries[=FILE] samples the metric registry every --interval N
+   simulated microseconds (default 50) and writes the per-experiment
+   time-series (default BENCH_timeseries.csv, Chrome counter events
+   when FILE doesn't end in .csv) — also byte-identical at any
+   --jobs. *)
 
 module T = Xc_sim.Table
 module Figures = Xcontainers.Figures
@@ -1058,6 +1064,7 @@ type outcome = {
   wall_s : float;
   events : int;
   trace : Xc_trace.Trace.captured;
+  telemetry : Xc_sim.Metrics.telemetry;
 }
 
 (* Runs one experiment with its output captured in the domain-local
@@ -1072,10 +1079,12 @@ let instrument (name, f) () =
   Buffer.clear buf;
   let events0 = Xc_sim.Engine.domain_events () in
   let t0 = Unix.gettimeofday () in
-  let (), trace = Xc_trace.Trace.capture f in
+  let ((), trace), telemetry =
+    Xc_sim.Metrics.capture (fun () -> Xc_trace.Trace.capture f)
+  in
   let wall_s = Unix.gettimeofday () -. t0 in
   let events = Xc_sim.Engine.domain_events () - events0 in
-  { name; output = Buffer.contents buf; wall_s; events; trace }
+  { name; output = Buffer.contents buf; wall_s; events; trace; telemetry }
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1135,13 +1144,37 @@ let write_bench_json ~jobs ~trace_out ~wall_s outcomes =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let run_experiments ~jobs ~trace_out ~sample experiments =
+let run_experiments ~jobs ~trace_out ~sample ~timeseries_out ~interval_us
+    experiments =
   if trace_out <> None then Xc_trace.Trace.enable ~sample ();
+  if timeseries_out <> None then
+    Xc_sim.Metrics.enable ~interval_ns:(float_of_int interval_us *. 1e3) ();
   let t0 = Unix.gettimeofday () in
   let outcomes = Xc_sim.Parallel.run ~jobs (List.map instrument experiments) in
   let wall_s = Unix.gettimeofday () -. t0 in
   List.iter (fun o -> Stdlib.print_string o.output) outcomes;
   write_bench_json ~jobs ~trace_out ~wall_s outcomes;
+  (match timeseries_out with
+  | None -> ()
+  | Some path ->
+      (* One track per experiment, counter events on the sim clock; CSV
+         or Chrome JSON by extension.  Each experiment's telemetry was
+         captured against a fresh registry, so the file is byte-identical
+         at any --jobs (tier-1 cmps it). *)
+      let tracks =
+        List.map
+          (fun o -> (o.name, Xc_sim.Metrics.to_trace_events o.telemetry))
+          outcomes
+      in
+      Xc_trace.Export.to_file ~path tracks;
+      let snaps =
+        List.fold_left
+          (fun a o -> a + List.length o.telemetry.Xc_sim.Metrics.snapshots)
+          0 outcomes
+      in
+      Printf.eprintf
+        "[bench] wrote %s (%d snapshot(s) at %dus across %d experiment(s))\n%!"
+        path snaps interval_us (List.length outcomes));
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -1236,6 +1269,18 @@ let () =
         Printf.eprintf "bench: --sample expects a positive integer, got %S\n" s;
         exit 2
   in
+  let timeseries_out = ref None in
+  let interval_us = ref 50 in
+  let set_interval s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> interval_us := n
+    | _ ->
+        Printf.eprintf
+          "bench: --interval expects a positive integer (sim-microseconds), \
+           got %S\n"
+          s;
+        exit 2
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest ->
@@ -1261,6 +1306,23 @@ let () =
         exit 2
     | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--sample=" ->
         set_sample (String.sub arg 9 (String.length arg - 9));
+        parse acc rest
+    | "--timeseries" :: rest ->
+        timeseries_out := Some "BENCH_timeseries.csv";
+        parse acc rest
+    | arg :: rest
+      when String.length arg > 13 && String.sub arg 0 13 = "--timeseries=" ->
+        timeseries_out := Some (String.sub arg 13 (String.length arg - 13));
+        parse acc rest
+    | "--interval" :: n :: rest ->
+        set_interval n;
+        parse acc rest
+    | [ "--interval" ] ->
+        Printf.eprintf "bench: --interval expects an argument\n";
+        exit 2
+    | arg :: rest
+      when String.length arg > 11 && String.sub arg 0 11 = "--interval=" ->
+        set_interval (String.sub arg 11 (String.length arg - 11));
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in
@@ -1300,4 +1362,5 @@ let () =
                 exit 2)
           names
   in
-  run_experiments ~jobs:!jobs ~trace_out:!trace_out ~sample:!sample experiments
+  run_experiments ~jobs:!jobs ~trace_out:!trace_out ~sample:!sample
+    ~timeseries_out:!timeseries_out ~interval_us:!interval_us experiments

@@ -461,8 +461,32 @@ let sweep_cmd =
     Arg.(value & opt float 300.
         & info [ "duration" ] ~doc:"Simulated duration per point, in ms.")
   in
-  let run counts jobs duration_ms =
+  let trace_out =
+    Arg.(value & opt ~vopt:(Some "sweep.trace.json") (some string) None
+        & info [ "trace" ] ~docv:"FILE"
+            ~doc:"Also record a trace of the sweep.  Long cluster-sim \
+                  sweeps emit far more events than any reasonable ring, \
+                  so sampling is on by default (stride \\$(b,--sample), \
+                  exact kept/seen accounting printed); disable it with \
+                  \\$(b,--no-sample).")
+  in
+  let sample =
+    Arg.(value & opt int 16
+        & info [ "sample" ] ~docv:"N"
+            ~doc:"Sampling stride for --trace: keep one event per window \
+                  of N per (cat,name) stream.")
+  in
+  let no_sample =
+    Arg.(value & flag
+        & info [ "no-sample" ]
+            ~doc:"With --trace: record every event instead of sampling \
+                  (the ring may drop the oldest under load).")
+  in
+  let run counts jobs duration_ms trace_out sample no_sample =
     let jobs = jobs_or_exit jobs in
+    if sample < 1 then
+      exit_err (Printf.sprintf "--sample expects a positive integer, got %d" sample);
+    let stride = if no_sample then 1 else sample in
     let module CS = Xc_platforms.Cluster_sim in
     let point mode n =
       { (CS.default_config mode ~containers:n) with duration_ns = duration_ms *. 1e6 }
@@ -471,7 +495,15 @@ let sweep_cmd =
       List.concat_map (fun n -> [ point CS.Flat n; point CS.Hierarchical n ]) counts
     in
     let t0 = Unix.gettimeofday () in
-    let results = CS.run_sweep ~jobs configs in
+    let results, captured =
+      match trace_out with
+      | None -> (CS.run_sweep ~jobs configs, None)
+      | Some _ ->
+          Xc_trace.Trace.enable ~capacity:(1 lsl 18) ~sample:stride ();
+          let r, c = Xc_trace.Trace.capture (fun () -> CS.run_sweep ~jobs configs) in
+          Xc_trace.Trace.disable ();
+          (r, Some c)
+    in
     let wall = Unix.gettimeofday () -. t0 in
     let t =
       Xc_sim.Table.create
@@ -496,12 +528,24 @@ let sweep_cmd =
       configs results;
     Xc_sim.Table.print t;
     Printf.printf "%d points in %.2fs wall with %d domain(s)\n"
-      (List.length configs) wall jobs
+      (List.length configs) wall jobs;
+    match (trace_out, captured) with
+    | Some path, Some { Xc_trace.Trace.events; dropped; streams } ->
+        Xc_trace.Export.to_file ~dropped ~path [ ("sweep", events) ];
+        let seen =
+          List.fold_left (fun a (s : Xc_trace.Trace.Stream.t) -> a + s.seen) 0 streams
+        in
+        if stride > 1 then
+          Printf.printf "wrote %s (%d events kept of %d offered, stride %d)\n"
+            path (List.length events) seen stride
+        else Printf.printf "wrote %s (%d events)\n" path (List.length events)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Figure 8 scheduler sweep, fanned out over worker domains.")
-    Term.(const run $ containers $ jobs $ duration_ms)
+    Term.(const run $ containers $ jobs $ duration_ms $ trace_out $ sample
+          $ no_sample)
 
 (* ---------------- xc experiments ---------------- *)
 
@@ -770,8 +814,15 @@ let trace_run_cmd =
                   \\$XC_JOBS or 1); traced output is identical at any \
                   value.")
   in
+  let timeseries =
+    Arg.(value & opt (some string) None
+        & info [ "timeseries" ] ~docv:"FILE"
+            ~doc:"Also sample the metric registry every 50 sim-us and \
+                  write the time-series as Chrome counter events, or CSV \
+                  when FILE ends in .csv (byte-identical across --jobs).")
+  in
   let run exp runtime cloud iterations out top sample folded slowest tail
-      tails_out jobs =
+      tails_out jobs timeseries =
     let module Trace = Xc_trace.Trace in
     let module Export = Xc_trace.Export in
     let module Profile = Xc_trace.Profile in
@@ -823,31 +874,36 @@ let trace_run_cmd =
       | `Closed_loop _ | `Cluster _ -> 1 lsl 18
       | _ -> Trace.default_capacity
     in
+    if timeseries <> None then Xc_sim.Metrics.enable ();
     Trace.enable ~capacity ~sample ();
-    let (), captured =
-      Trace.capture (fun () ->
-          match workload with
-          | `Unixbench test ->
-              for _ = 1 to iterations do
-                ignore (Xc_apps.Unixbench.per_iteration_ns platform test)
-              done
-          | `Httpd -> run_traced_httpd config platform ~requests:iterations
-          | `Closed_loop (cl_config, server) ->
-              ignore (Xc_platforms.Closed_loop.run cl_config server)
-          | `Cluster cs_config ->
-              ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs_config ])
-          | `App app ->
-              let server = Xcontainers.Figures.server_for_public config platform app in
-              ignore
-                (Xc_platforms.Closed_loop.run
-                   {
-                     Xc_platforms.Closed_loop.default_config with
-                     duration_ns = 2e8;
-                     warmup_ns = 2e7;
-                   }
-                   server))
+    let ((), captured), telemetry =
+      Xc_sim.Metrics.capture (fun () ->
+          Trace.capture (fun () ->
+              match workload with
+              | `Unixbench test ->
+                  for _ = 1 to iterations do
+                    ignore (Xc_apps.Unixbench.per_iteration_ns platform test)
+                  done
+              | `Httpd -> run_traced_httpd config platform ~requests:iterations
+              | `Closed_loop (cl_config, server) ->
+                  ignore (Xc_platforms.Closed_loop.run cl_config server)
+              | `Cluster cs_config ->
+                  ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs_config ])
+              | `App app ->
+                  let server =
+                    Xcontainers.Figures.server_for_public config platform app
+                  in
+                  ignore
+                    (Xc_platforms.Closed_loop.run
+                       {
+                         Xc_platforms.Closed_loop.default_config with
+                         duration_ns = 2e8;
+                         warmup_ns = 2e7;
+                       }
+                       server)))
     in
     Trace.disable ();
+    Xc_sim.Metrics.disable ();
     let { Trace.events; dropped; streams } = captured in
     let label = exp ^ "/" ^ Xc_platforms.Config.name config in
     (* With a sampling stride, rescale spans by the exact per-stream
@@ -897,19 +953,26 @@ let trace_run_cmd =
         Export.to_file ~dropped ~path tracks;
         Printf.printf "wrote %s (%d events)\n" path (List.length events)
     | None -> ());
-    match folded with
+    (match folded with
     | Some path ->
         let oc = open_out path in
         output_string oc (Export.to_folded [ (label, events) ]);
         close_out oc;
         Printf.printf "wrote %s\n" path
+    | None -> ());
+    match timeseries with
+    | Some path ->
+        Export.to_file ~path
+          [ (label ^ "/telemetry", Xc_sim.Metrics.to_trace_events telemetry) ];
+        Printf.printf "wrote %s (%d snapshots)\n" path
+          (List.length telemetry.Xc_sim.Metrics.snapshots)
     | None -> ()
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Trace one workload and print its per-category cost summary.")
     Term.(const run $ exp_arg $ runtime $ cloud $ iterations $ out $ top
-          $ sample $ folded $ slowest $ tail $ tails_out $ jobs)
+          $ sample $ folded $ slowest $ tail $ tails_out $ jobs $ timeseries)
 
 let trace_diff_cmd =
   let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
@@ -1063,6 +1126,203 @@ let trace_cmd =
        ~doc:"Record execution traces and diff them: who wins and why.")
     [ trace_run_cmd; trace_diff_cmd; trace_tails_cmd ]
 
+(* ---------------- xc top ---------------- *)
+
+(* ASCII sparkline over a series, scaled to the series maximum. *)
+let spark_levels = " .:-=+*#%@"
+
+let sparkline values =
+  let mx = List.fold_left Float.max 0. values in
+  String.concat ""
+    (List.map
+       (fun v ->
+         let i =
+           if mx <= 0. || v <= 0. then 0
+           else min 9 (int_of_float (Float.round (v /. mx *. 9.)))
+         in
+         String.make 1 spark_levels.[i])
+       values)
+
+let last_n k l =
+  let n = List.length l in
+  if n <= k then l else List.filteri (fun i _ -> i >= n - k) l
+
+let top_cmd =
+  let exp_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"WORKLOAD"
+            ~doc:"cluster (the Fig 9 scheduling simulation), closed-loop \
+                  (the wrk-style driver), or an application (nginx, \
+                  memcached, redis, ...) — the workloads that drive the \
+                  sim engine, whose clock paces the snapshots.")
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let interval =
+    Arg.(value & opt float 50.
+        & info [ "interval"; "i" ] ~docv:"N"
+            ~doc:"Snapshot cadence in simulated microseconds.")
+  in
+  let rows =
+    Arg.(value & opt int 10
+        & info [ "snapshots" ] ~docv:"K"
+            ~doc:"Snapshot lines to print, evenly spaced across the run \
+                  and ending at the last one.")
+  in
+  let timeseries =
+    Arg.(value & opt (some string) None
+        & info [ "timeseries" ] ~docv:"FILE"
+            ~doc:"Write the full time-series as Chrome counter events, or \
+                  CSV when FILE ends in .csv (byte-identical across \
+                  --jobs).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains for the cluster workload (default \
+                  \\$XC_JOBS or 1); snapshots are identical at any value.")
+  in
+  let run exp runtime cloud interval_us rows timeseries jobs =
+    let module M = Xc_sim.Metrics in
+    if (not (Float.is_finite interval_us)) || interval_us <= 0. then
+      exit_err
+        (Printf.sprintf
+           "--interval expects a positive number of sim-microseconds, got %g"
+           interval_us);
+    if rows < 1 then
+      exit_err
+        (Printf.sprintf "--snapshots expects a positive integer, got %d" rows);
+    let jobs = jobs_or_exit jobs in
+    let exp = String.lowercase_ascii exp in
+    let config = Xc_platforms.Config.make ~cloud runtime in
+    let platform = Xc_platforms.Platform.create config in
+    let closed_loop ~duration_ns ~warmup_ns app =
+      let server = Xcontainers.Figures.server_for_public config platform app in
+      fun () ->
+        ignore
+          (Xc_platforms.Closed_loop.run
+             { Xc_platforms.Closed_loop.default_config with duration_ns; warmup_ns }
+             server)
+    in
+    let workload =
+      if exp = "cluster" then (
+        let cs_config = Xc_platforms.Cluster_sim.config_of_platform platform in
+        fun () -> ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs_config ]))
+      else if exp = "closed-loop" then
+        closed_loop ~duration_ns:3e7 ~warmup_ns:3e6 `Nginx
+      else
+        match List.assoc_opt exp app_table with
+        | Some app -> closed_loop ~duration_ns:2e8 ~warmup_ns:2e7 app
+        | None ->
+            exit_err
+              (Printf.sprintf
+                 "unknown workload %S; one of: cluster closed-loop %s" exp
+                 (String.concat ", " (List.map fst app_table)))
+    in
+    M.enable ~interval_ns:(interval_us *. 1e3) ();
+    let (), telemetry = M.capture workload in
+    M.disable ();
+    let snaps = telemetry.M.snapshots in
+    let n = List.length snaps in
+    Printf.printf "xc top: %s on %s — %d snapshot(s), one per %gus of sim time%s\n"
+      exp (Xc_platforms.Config.name config) n interval_us
+      (if telemetry.M.snap_dropped > 0 then
+         Printf.sprintf " (%d older dropped beyond retention)"
+           telemetry.M.snap_dropped
+       else "");
+    if snaps = [] then
+      print_string
+        "(no snapshots: the workload never advanced the sim clock across an \
+         interval boundary)\n"
+    else begin
+      print_newline ();
+      (* A time-lapse: [rows] snapshots evenly spaced over the whole run,
+         always including the last. *)
+      let spaced =
+        if n <= rows then snaps
+        else List.init rows (fun k -> List.nth snaps (((k + 1) * n / rows) - 1))
+      in
+      List.iter
+        (fun (s : M.snapshot) ->
+          let gauges =
+            List.filter_map
+              (fun (k, v) ->
+                match v with
+                | M.Level x -> Some (Printf.sprintf "%s=%g" k x)
+                | _ -> None)
+              s.M.values
+          in
+          Printf.printf "snapshot @%11.3fms  %s\n" (s.M.at /. 1e6)
+            (String.concat "  " gauges))
+        spaced;
+      let win = last_n 33 snaps in
+      let latest = List.nth snaps (n - 1) in
+      Printf.printf "\n  %-30s %-8s %14s  per-interval (last %d)\n" "metric"
+        "kind" "last" (List.length win);
+      List.iter
+        (fun (key, sample) ->
+          let extract v =
+            match v with
+            | M.Count x -> x
+            | M.Level x -> x
+            | M.Dist d -> d.M.p99
+          in
+          let raw =
+            List.map
+              (fun (s : M.snapshot) ->
+                match List.assoc_opt key s.M.values with
+                | Some v -> extract v
+                | None -> 0.)
+              win
+          in
+          (* Counters are cumulative: sparkline their per-interval delta. *)
+          let series =
+            match sample with
+            | M.Count _ -> (
+                match raw with
+                | [] -> []
+                | first :: _ ->
+                    let prev = ref first in
+                    List.map
+                      (fun v ->
+                        let d = v -. !prev in
+                        prev := v;
+                        Float.max 0. d)
+                      raw)
+            | _ -> raw
+          in
+          let kind, lastv =
+            match sample with
+            | M.Count x -> ("counter", x)
+            | M.Level x -> ("gauge", x)
+            | M.Dist d -> ("p99-ns", d.M.p99)
+          in
+          Printf.printf "  %-30s %-8s %14.1f  |%s|\n" key kind lastv
+            (sparkline series))
+        latest.M.values
+    end;
+    match timeseries with
+    | Some path ->
+        Xc_trace.Export.to_file ~path
+          [ (exp ^ "/telemetry", M.to_trace_events telemetry) ];
+        Printf.printf "\nwrote %s (%d snapshots)\n" path n
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Run a workload with sim-clock metric snapshots on and show \
+             the registry like top(1): last snapshots, then every metric \
+             with a per-interval sparkline.")
+    Term.(const run $ exp_arg $ runtime $ cloud $ interval $ rows $ timeseries
+          $ jobs)
+
 (* ---------------- xc bench ---------------- *)
 
 let bench_check_cmd =
@@ -1102,12 +1362,122 @@ let bench_check_cmd =
              baseline; exit nonzero on a regression beyond the threshold.")
     Term.(const run $ current $ baseline $ threshold)
 
+(* ---------------- xc bench history ---------------- *)
+
+let history_arg =
+  Arg.(value & opt string "bench/HISTORY.jsonl"
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Append-only JSONL trajectory, one line per bench run.")
+
+let bench_history_append_cmd =
+  let bench =
+    Arg.(value & opt string "BENCH_sim.json"
+        & info [ "bench" ] ~docv:"FILE"
+            ~doc:"Artifact to fold into the history (written by every \
+                  bench invocation).")
+  in
+  let run bench history =
+    match Xc_sim.Bench_history.append ~history ~bench with
+    | Error e -> exit_err e
+    | Ok entry ->
+        let s = entry.Xc_sim.Bench_history.summary in
+        Printf.printf
+          "appended %s (jobs %d, %.1f ev/s, %d experiment(s)) to %s\n"
+          s.Xc_sim.Bench_json.git s.Xc_sim.Bench_json.jobs
+          s.Xc_sim.Bench_json.events_per_sec
+          (List.length entry.Xc_sim.Bench_history.experiments)
+          history
+  in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:"Fold the current BENCH_sim.json into the trajectory history.")
+    Term.(const run $ bench $ history_arg)
+
+let bench_history_check_cmd =
+  let current =
+    Arg.(value & opt string "BENCH_sim.json"
+        & info [ "current" ] ~docv:"FILE"
+            ~doc:"Artifact of the run under test.")
+  in
+  let window =
+    Arg.(value & opt int Xc_sim.Bench_history.default_window
+        & info [ "window" ] ~docv:"K"
+            ~doc:"Trailing history entries to average into the baseline.")
+  in
+  let threshold =
+    Arg.(value & opt float Xc_sim.Bench_json.default_threshold_pct
+        & info [ "threshold" ] ~docv:"PCT"
+            ~doc:"Drift budget in percent against the trailing-window mean.")
+  in
+  let run current history window threshold_pct =
+    if window < 1 then
+      exit_err
+        (Printf.sprintf "--window expects a positive integer, got %d" window);
+    match
+      ( Xc_sim.Bench_history.of_file history,
+        Xc_sim.Bench_json.of_file current )
+    with
+    | Error e, _ | _, Error e -> exit_err e
+    | Ok entries, Ok cur -> (
+        match
+          Xc_sim.Bench_history.check ~threshold_pct ~window entries cur
+        with
+        | Error e -> exit_err e
+        | Ok (report, regressed) ->
+            print_string report;
+            if regressed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Compare the current run against the mean of the trailing \
+             window of the history; exit nonzero on drift beyond the \
+             threshold.")
+    Term.(const run $ current $ history_arg $ window $ threshold)
+
+let bench_history_plot_cmd =
+  let experiment =
+    Arg.(value & opt (some string) None
+        & info [ "experiment"; "e" ] ~docv:"NAME"
+            ~doc:"Restrict to one series (\"total\" or an experiment name).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~docv:"FILE"
+            ~doc:"Also write every series as CSV rows.")
+  in
+  let run history experiment csv =
+    match Xc_sim.Bench_history.of_file history with
+    | Error e -> exit_err e
+    | Ok [] -> exit_err (history ^ ": empty history — append a run first")
+    | Ok entries -> (
+        print_string (Xc_sim.Bench_history.plot ?experiment entries);
+        match csv with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Xc_sim.Bench_history.to_csv entries);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "plot"
+       ~doc:"Chart the events/sec and wall-clock trajectory across the \
+             appended runs, per experiment and in total.")
+    Term.(const run $ history_arg $ experiment $ csv)
+
+let bench_history_cmd =
+  Cmd.group
+    (Cmd.info "history"
+       ~doc:"Track the bench trajectory across commits: append runs, \
+             chart them, and check drift against a trailing window.")
+    [ bench_history_append_cmd; bench_history_check_cmd; bench_history_plot_cmd ]
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
        ~doc:"Operate on bench artifacts (run the bench itself with dune \
              exec bench/main.exe).")
-    [ bench_check_cmd ]
+    [ bench_check_cmd; bench_history_cmd ]
 
 (* ---------------- main ---------------- *)
 
@@ -1139,5 +1509,6 @@ let () =
             run_app_cmd;
             sweep_cmd;
             trace_cmd;
+            top_cmd;
             bench_cmd;
           ]))

@@ -36,6 +36,7 @@ let count t outcome =
         r
   in
   incr cell;
+  Xc_sim.Metrics.counter_incr ~cat:"abom" ~name:"patch-attempts";
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.instant ~cat:"abom" ~name:(outcome_to_string outcome) ()
 

@@ -70,6 +70,7 @@ let serve_one t conn =
         end
     end);
   t.served <- t.served + 1;
+  Xc_sim.Metrics.counter_incr ~cat:"app" ~name:"requests";
   charge t (Kernel.Cheap Xc_os.Syscall_nr.Close);
   Socket.close conn
 

@@ -10,6 +10,7 @@ let id t = t.id
 let charge t ?label ns =
   t.busy_ns <- t.busy_ns +. ns;
   (match label with Some l -> Xc_sim.Metrics.incr t.metrics l | None -> ());
+  Xc_sim.Metrics.counter_add ~cat:"cpu" ~name:"busy-ns" ns;
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.span ~cat:"cpu"
       ~name:(match label with Some l -> l | None -> "busy")

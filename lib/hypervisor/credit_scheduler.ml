@@ -55,6 +55,7 @@ let pick_next t ~pcpu:_ =
   end
 
 let run_slice _t vcpu ~ns =
+  Xc_sim.Metrics.counter_incr ~cat:"hypervisor" ~name:"credit-slices";
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.span ~cat:"sched.credit" ~name:"slice" ns;
   Vcpu.add_runtime vcpu ns;

@@ -17,6 +17,9 @@ let is_bound t ~port = Hashtbl.mem t.bound port
 let notify t ~port =
   if not (is_bound t ~port) then invalid_arg "Event_channel.notify: unbound port";
   if not (List.mem port t.pending) then t.pending <- port :: t.pending;
+  if Xc_sim.Metrics.on () then
+    Xc_sim.Metrics.gauge_set ~cat:"hypervisor" ~name:"evtchn-backlog"
+      (float_of_int (List.length t.pending));
   (* Sender marks the shared pending bitmap; cost is a cache-line write
      plus, for hypervisor delivery, the notifying hypercall. *)
   let ns =
@@ -38,6 +41,11 @@ let pending t = List.sort compare t.pending
 let deliver_pending t handler =
   let ports = pending t in
   t.pending <- [];
+  if ports <> [] then begin
+    Xc_sim.Metrics.counter_add ~cat:"hypervisor" ~name:"evtchn-delivered"
+      (float_of_int (List.length ports));
+    Xc_sim.Metrics.gauge_set ~cat:"hypervisor" ~name:"evtchn-backlog" 0.
+  end;
   let per_event =
     match t.delivery with
     | Via_hypervisor -> Xc_cpu.Costs.xen_event_channel_ns +. Xc_cpu.Costs.iret_hypercall_ns

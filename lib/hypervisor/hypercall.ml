@@ -63,6 +63,7 @@ let invoke t kind =
   | Some r -> incr r
   | None -> Hashtbl.add t kind (ref 1));
   let ns = cost_ns kind in
+  Xc_sim.Metrics.counter_incr ~cat:"hypervisor" ~name:"hypercalls";
   if Xc_trace.Trace.enabled () then begin
     Xc_trace.Trace.span ~cat:"hypercall" ~name:(name kind) ns;
     (* A hypercall is a guest-kernel <-> hypervisor round trip. *)

@@ -272,6 +272,7 @@ let step t : exit_reason option =
 let step_once t = try step t with Fault_exn msg -> Some (Fault msg)
 
 let run ?(fuel = 1_000_000) t =
+  let before = t.steps in
   let rec go remaining =
     if remaining = 0 then Fuel_exhausted
     else begin
@@ -280,4 +281,16 @@ let run ?(fuel = 1_000_000) t =
       | None -> go (remaining - 1)
     end
   in
-  try go fuel with Fault_exn msg -> Fault msg
+  let finish reason =
+    (* Instruction steps are this machine's simulated events: credit
+       them to the domain counter so ISA-driven experiments (Table 1)
+       report real event counts, and to the telemetry registry. *)
+    let executed = t.steps - before in
+    Xc_sim.Engine.add_domain_events executed;
+    Xc_sim.Metrics.counter_add ~cat:"isa" ~name:"instructions"
+      (float_of_int executed);
+    reason
+  in
+  match go fuel with
+  | reason -> finish reason
+  | exception Fault_exn msg -> finish (Fault msg)

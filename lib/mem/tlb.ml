@@ -53,6 +53,7 @@ let access t ~vpn ~global =
   end
   else begin
     t.misses <- t.misses + 1;
+    Xc_sim.Metrics.counter_incr ~cat:"mem" ~name:"tlb-misses";
     if Hashtbl.length t.entries >= t.capacity then evict_one t;
     Hashtbl.replace t.entries vpn global;
     `Miss
@@ -60,6 +61,7 @@ let access t ~vpn ~global =
 
 let switch_cr3 t =
   t.cr3_switches <- t.cr3_switches + 1;
+  Xc_sim.Metrics.counter_incr ~cat:"mem" ~name:"tlb-flushes";
   let non_global =
     Hashtbl.fold (fun vpn global acc -> if global then acc else vpn :: acc) t.entries []
   in
@@ -67,6 +69,7 @@ let switch_cr3 t =
 
 let flush_all t =
   t.full_flushes <- t.full_flushes + 1;
+  Xc_sim.Metrics.counter_incr ~cat:"mem" ~name:"tlb-flushes";
   Hashtbl.reset t.entries
 
 let flush_page t ~vpn = Hashtbl.remove t.entries vpn

@@ -37,6 +37,7 @@ let balancer_cost_ns mode ~syscall_entry_ns ~request_bytes ~response_bytes =
            responses never come back through the balancer. *)
         1000. +. copy_cost request_bytes
   in
+  Xc_sim.Metrics.counter_incr ~cat:"net" ~name:"lb-requests";
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.span ~cat:"net.lb" ~name:(mode_to_string mode) ns;
   ns

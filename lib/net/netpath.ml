@@ -34,6 +34,9 @@ let packets_for ~bytes_len ~mss =
 let message_cost_ns hops ~bytes_len ~mss =
   let n = packets_for ~bytes_len ~mss in
   let per_packet_len = Stdlib.min bytes_len mss in
+  if Xc_sim.Metrics.on () then
+    Xc_sim.Metrics.counter_add ~cat:"net" ~name:"hops"
+      (float_of_int (n * List.length hops));
   (* One span per hop covering all [n] packets, so the traced total
      equals the charged total without one event per packet. *)
   if Xc_trace.Trace.enabled () then

@@ -21,6 +21,7 @@ let pick_next t =
            first rest)
 
 let run_slice _t p ~ns =
+  Xc_sim.Metrics.counter_incr ~cat:"os" ~name:"cfs-slices";
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.span ~cat:"sched.cfs" ~name:"slice" ns;
   Process.add_cpu_time p ns;

@@ -161,12 +161,17 @@ let syscall_work_ns t op =
     | Exec_op -> exec_cost_ns t
     | Wait_op -> 150.
   in
+  Xc_sim.Metrics.counter_incr ~cat:"os" ~name:"syscalls";
   if Xc_trace.Trace.enabled () then
     Xc_trace.Trace.span ~cat:"syscall-work" ~name:(op_name op) ns;
   ns
 
 let context_switch_cost_ns t =
   let runnable = Cfs.runnable_count t.scheduler in
+  if Xc_sim.Metrics.on () then begin
+    Xc_sim.Metrics.counter_incr ~cat:"os" ~name:"ctx-switches";
+    Xc_sim.Metrics.gauge_set ~cat:"os" ~name:"runqueue" (float_of_int runnable)
+  end;
   let base =
     Costs.context_switch_base_ns
     +. (Costs.runqueue_ns_per_task *. float_of_int runnable)

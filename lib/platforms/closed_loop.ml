@@ -76,11 +76,22 @@ let run_states config states =
       let finish = start +. service in
       st.unit_free.(u) <- finish;
       let response_at = finish +. (config.rtt_ns /. 2.) in
+      if Xc_sim.Metrics.on () then begin
+        Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" 1.;
+        Xc_sim.Metrics.counter_incr ~cat:"net" ~name:"messages"
+      end;
       Engine.schedule engine response_at (fun engine ->
           let now = Engine.now engine in
+          if Xc_sim.Metrics.on () then
+            Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" (-1.);
           if sent_at >= measure_start && now <= measure_end then begin
             st.completed <- st.completed + 1;
             Histogram.add st.latencies (now -. sent_at);
+            if Xc_sim.Metrics.on () then begin
+              Xc_sim.Metrics.counter_incr ~cat:"platform" ~name:"requests";
+              Xc_sim.Metrics.hist_observe ~cat:"platform" ~name:"latency-ns"
+                (now -. sent_at)
+            end;
             if Xc_trace.Trace.enabled () then begin
               (* value = per-server completion index: a stable request
                  id that per-request tooling (Profile.slowest) reads

@@ -126,6 +126,33 @@ let run config =
   in
   let ready : entity Queue.t = Queue.create () in
   let held_count = ref 0 in
+  (* Telemetry: the scheduler this driver models belongs to a different
+     substrate per mode — the hypervisor's credit scheduler over vCPUs
+     under Hierarchical, the host kernel's scheduler over processes
+     under Flat — so its metrics land in that substrate's category. *)
+  let sched_cat =
+    match config.mode with Hierarchical -> "hypervisor" | Flat -> "os"
+  in
+  let slice_name =
+    match config.mode with Hierarchical -> "credit-slices" | Flat -> "cfs-slices"
+  in
+  let cswitch_cat, cswitch_name =
+    match config.mode with
+    | Hierarchical -> ("hypervisor", "vcpu-switches")
+    | Flat -> ("os", "container-switches")
+  in
+  let note_ready () =
+    if Xc_sim.Metrics.on () then
+      Xc_sim.Metrics.gauge_set ~cat:sched_cat ~name:"ready-queue"
+        (float_of_int (Queue.length ready))
+  in
+  (* top(1)'s "Tasks:" line — how many schedulable entities this
+     scheduler owns (vCPUs under the hypervisor, processes under the
+     host kernel). *)
+  if Xc_sim.Metrics.on () then
+    Xc_sim.Metrics.gauge_set ~cat:sched_cat
+      ~name:(match config.mode with Hierarchical -> "vcpus" | Flat -> "tasks")
+      (float_of_int n_entities);
   let cores =
     Array.init config.pcpus (fun _ ->
         {
@@ -144,6 +171,7 @@ let run config =
     match Queue.take_opt idle_cores with
     | Some i when cores.(i).idle ->
         cores.(i).idle <- false;
+        Xc_sim.Metrics.gauge_add ~cat:"cpu" ~name:"cores-busy" 1.;
         dispatch i engine
     | Some _ -> wake_core engine
     | None -> ()
@@ -154,17 +182,31 @@ let run config =
     if (not e.queued) && not e.held then begin
       e.queued <- true;
       Queue.add e ready;
+      note_ready ();
       wake_core engine
     end
 
   and finish_request engine (b : burst) =
     let now = Engine.now engine in
     let response_at = now +. (config.client_rtt_ns /. 2.) in
+    if Xc_sim.Metrics.on () then begin
+      Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" 1.;
+      Xc_sim.Metrics.counter_incr ~cat:"net" ~name:"messages"
+    end;
     Engine.schedule engine response_at (fun engine ->
         let now' = Engine.now engine in
+        if Xc_sim.Metrics.on () then begin
+          Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
+          Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" (-1.)
+        end;
         if b.sent_at >= measure_start && now' <= measure_end then begin
           incr completed;
           Histogram.add latencies (now' -. b.sent_at);
+          if Xc_sim.Metrics.on () then begin
+            Xc_sim.Metrics.counter_incr ~cat:"platform" ~name:"requests";
+            Xc_sim.Metrics.hist_observe ~cat:"platform" ~name:"latency-ns"
+              (now' -. b.sent_at)
+          end;
           if Xc_trace.Trace.enabled () then begin
             let bundle = Array.length config.request_mech > 0 in
             (* [shift] re-bases the whole bundle onto the sequential
@@ -228,7 +270,14 @@ let run config =
         switch_ns = 0.;
       }
     in
-    Engine.schedule engine arrive_at (fun engine -> enqueue_burst engine b)
+    if Xc_sim.Metrics.on () then begin
+      Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" 1.;
+      Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" 1.;
+      Xc_sim.Metrics.counter_incr ~cat:"net" ~name:"messages"
+    end;
+    Engine.schedule engine arrive_at (fun engine ->
+        Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
+        enqueue_burst engine b)
 
   and advance_stage engine (b : burst) =
     b.stage <- b.stage + 1;
@@ -260,7 +309,8 @@ let run config =
            decr held_count;
            if (not (Queue.is_empty e.work)) && not e.queued then begin
              e.queued <- true;
-             Queue.add e ready
+             Queue.add e ready;
+             note_ready ()
            end;
            core.cur_entity <- -1
          end);
@@ -271,6 +321,7 @@ let run config =
             incr held_count;
             core.cur_entity <- e.id;
             core.slice_used <- 0.;
+            note_ready ();
             Some (e, true)
         | None -> None
       end
@@ -281,6 +332,7 @@ let run config =
     | None ->
         core.idle <- true;
         core.cur_entity <- -1;
+        Xc_sim.Metrics.gauge_add ~cat:"cpu" ~name:"cores-busy" (-1.);
         Queue.add core_idx idle_cores
     | Some (e, _fresh) -> begin
         match Queue.take_opt e.work with
@@ -294,6 +346,7 @@ let run config =
             let switch_cost =
               if core.last_container <> b.container then begin
                 incr container_switches;
+                Xc_sim.Metrics.counter_incr ~cat:cswitch_cat ~name:cswitch_name;
                 switch_kind := "container";
                 (* The bookkeeping term scales with the task population
                    this scheduler manages (CFS statistics, cgroup walks,
@@ -307,6 +360,7 @@ let run config =
               end
               else if core.last_process <> b.process then begin
                 incr process_switches;
+                Xc_sim.Metrics.counter_incr ~cat:"os" ~name:"ctx-switches";
                 switch_kind := "process";
                 config.process_switch_ns
               end
@@ -333,6 +387,12 @@ let run config =
             switch_overhead := !switch_overhead +. switch_cost;
             busy := !busy +. switch_cost +. slice;
             core.slice_used <- core.slice_used +. slice;
+            if Xc_sim.Metrics.on () then begin
+              Xc_sim.Metrics.counter_incr ~cat:sched_cat ~name:slice_name;
+              if now > 0. then
+                Xc_sim.Metrics.gauge_set ~cat:"platform" ~name:"vcpu-utilization"
+                  (!busy /. (float_of_int config.pcpus *. now))
+            end;
             Engine.schedule engine
               (now +. switch_cost +. slice)
               (fun engine ->

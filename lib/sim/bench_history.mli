@@ -1,0 +1,56 @@
+(** Bench trajectory tracker ([bench/HISTORY.jsonl]).
+
+    [xc bench history append] folds each run's [BENCH_sim.json] (which
+    is stamped with [git describe]) into an append-only JSONL file; the
+    accumulated series charts how throughput and wall-clock evolve
+    across commits — per experiment and in total — and gives the
+    regression gate a {e trailing window} to check drift against
+    instead of one frozen baseline.  Closes the ROADMAP trajectory
+    item. *)
+
+type entry = {
+  summary : Bench_json.summary;
+  experiments : Bench_json.experiment list;
+}
+
+val to_line : entry -> string
+(** One JSONL line (no trailing newline), parseable by
+    {!entry_of_string}. *)
+
+val entry_of_string : string -> (entry, string) result
+
+val entry_of_bench_file : string -> (entry, string) result
+(** Read a [BENCH_sim.json] artifact as a history entry. *)
+
+val of_file : string -> (entry list, string) result
+(** Parse a JSONL history, oldest first.  Blank lines are skipped; a
+    malformed line is an [Error] naming its line number. *)
+
+val append : history:string -> bench:string -> (entry, string) result
+(** Append the artifact at [bench] to the JSONL file at [history]
+    (created if missing); returns the appended entry. *)
+
+val default_window : int
+(** 5 runs. *)
+
+val check :
+  ?threshold_pct:float ->
+  ?window:int ->
+  entry list ->
+  Bench_json.summary ->
+  (string * bool, string) result
+(** [check history current] compares [current] against the {e mean} of
+    the last [window] history entries using the [Bench_json] gate;
+    returns the rendered report and whether anything regressed.
+    [Error] on an empty history or [window < 1]. *)
+
+val to_csv : entry list -> string
+(** [experiment,run,git,jobs,wall_s,events,events_per_sec] rows —
+    the "total" series first, then each experiment in first-seen
+    order. *)
+
+val plot : ?experiment:string -> entry list -> string
+(** ASCII trajectory per series: one line per run with the commit
+    stamp, events/sec (bar scaled to the series maximum) and
+    wall-clock.  [?experiment] restricts to one series ("total" or an
+    experiment name). *)

@@ -163,3 +163,51 @@ let render ?(threshold_pct = default_threshold_pct) ~baseline ~current verdicts 
     (if regressed verdicts then "REGRESSION" else "OK")
     threshold_pct;
   Buffer.contents buf
+
+(* ---------------- Per-experiment records ---------------- *)
+
+(* Defined last: [events_per_sec]/[wall_s] would otherwise shadow the
+   [summary] field labels above. *)
+type experiment = {
+  name : string;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+}
+
+(* Every '{...}' object after the "experiments": key, in artifact
+   order.  Objects we ourselves write are one-line and never nest, so
+   brace matching is trivial. *)
+let experiments_of_string data =
+  match find_raw_field data "experiments" with
+  | None -> []
+  | Some start ->
+      let slen = String.length data in
+      let rec objects i acc =
+        match String.index_from_opt data i '{' with
+        | None -> List.rev acc
+        | Some o -> (
+            match String.index_from_opt data o '}' with
+            | None -> List.rev acc
+            | Some c ->
+                let seg = String.sub data o (c - o + 1) in
+                let acc =
+                  match
+                    ( find_string seg "name",
+                      find_number seg "wall_s",
+                      find_number seg "events",
+                      find_number seg "events_per_sec" )
+                  with
+                  | Some name, Some wall_s, Some events, Some eps ->
+                      {
+                        name;
+                        wall_s;
+                        events = int_of_float events;
+                        events_per_sec = eps;
+                      }
+                      :: acc
+                  | _ -> acc
+                in
+                if c + 1 >= slen then List.rev acc else objects (c + 1) acc)
+      in
+      objects start []

@@ -19,6 +19,19 @@ val of_string : string -> (summary, string) result
 
 val of_file : string -> (summary, string) result
 
+type experiment = {
+  name : string;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+}
+
+val experiments_of_string : string -> experiment list
+(** The per-experiment records of an artifact (everything after the
+    ["experiments":] key), in artifact order; empty when the field is
+    missing.  Backs the per-experiment trajectory in
+    [Bench_history]. *)
+
 type verdict = {
   metric : string;  (** ["events_per_sec"] or ["total_wall_s"] *)
   baseline_v : float;

@@ -36,6 +36,17 @@ let schedule t at f =
 let schedule_after t delay f = schedule t (Time_ns.add t.clock delay) f
 let pending t = Heap.length t.queue + Queue.length t.lane
 
+let add_domain_events n =
+  let r = Domain.DLS.get domain_events_key in
+  r := !r + n
+
+(* Advance the sim clock, snapshotting the telemetry registry at every
+   interval boundary the jump crosses (before the event at [at] runs).
+   Telemetry off = one atomic load per clock advance. *)
+let advance t at =
+  if Metrics.on () then Metrics.sample_boundaries ~from:t.clock ~until:at;
+  t.clock <- at
+
 let exec t f =
   t.executed <- t.executed + 1;
   incr t.domain_counter;
@@ -47,7 +58,7 @@ let step t =
     match Heap.pop t.queue with
     | None -> false
     | Some (at, f) ->
-        t.clock <- at;
+        advance t at;
         exec t f
   end
   else begin
@@ -58,7 +69,7 @@ let step t =
     | Some (at, _) when Time_ns.compare at t.clock <= 0 -> (
         match Heap.pop t.queue with
         | Some (at, f) ->
-            t.clock <- at;
+            advance t at;
             exec t f
         | None -> false)
     | Some _ | None -> exec t (Queue.pop t.lane)
@@ -79,7 +90,7 @@ let run ?until t =
         match next with
         | Some at when Time_ns.compare at stop <= 0 -> ignore (step t)
         | Some _ | None ->
-            t.clock <- Time_ns.max t.clock stop;
+            advance t (Time_ns.max t.clock stop);
             continue := false
       done
 

@@ -37,6 +37,11 @@ val domain_events : unit -> int
     after an experiment to attribute event counts per experiment even
     when the engines are internal to the experiment's code. *)
 
+val add_domain_events : int -> unit
+(** Credit [n] externally-simulated events (e.g. ISA-machine
+    instruction steps) to the current domain's counter, so engine-less
+    experiments still report real event counts. *)
+
 val step : t -> bool
 (** Execute the next event; [false] if the queue was empty. *)
 

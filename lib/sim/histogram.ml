@@ -90,6 +90,13 @@ let merge a b =
   t.sum <- a.sum +. b.sum;
   t
 
+let equal a b =
+  (* sum is excluded on purpose: float addition is not associative, so
+     two histograms built from the same samples grouped differently
+     (e.g. merged across worker domains) can disagree in [sum] while
+     agreeing in every bucket.  Percentiles read only buckets/count. *)
+  a.count = b.count && Array.for_all2 ( = ) a.buckets b.buckets
+
 let pp_summary fmt t =
   Format.fprintf fmt "p50=%.3g p90=%.3g p99=%.3g (n=%d)" (percentile t 50.)
     (percentile t 90.) (percentile t 99.) t.count

@@ -1,3 +1,5 @@
+(* ---------------- Instance registries (original API) ---------------- *)
+
 type t = (string, float ref) Hashtbl.t
 
 let create () : t = Hashtbl.create 32
@@ -31,3 +33,288 @@ let pp fmt t =
     ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
     (fun fmt (k, v) -> Format.fprintf fmt "%-40s %12.0f" k v)
     fmt (to_alist t)
+
+(* ---------------- Global telemetry registry ---------------- *)
+
+(* Mirrors the Trace recorder design: process-wide atomic switches, all
+   mutable state domain-local (DLS), capture/inject for deterministic
+   cross-domain merging in Parallel.run.  Every emitter is one atomic
+   load + branch when disabled. *)
+
+type dist_view = { n : int; p50 : float; p99 : float; max_ : float }
+type sample = Count of float | Level of float | Dist of dist_view
+type snapshot = { at : Time_ns.t; values : (string * sample) list }
+
+type telemetry = {
+  snapshots : snapshot list;
+  snap_dropped : int;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  hists : (string * Histogram.t) list;
+}
+
+let empty_telemetry =
+  { snapshots = []; snap_dropped = 0; counters = []; gauges = []; hists = [] }
+
+let default_interval_ns = 50_000. (* 50 sim-µs *)
+let default_retention = 8192
+
+let on_flag = Atomic.make false
+let interval_cell = Atomic.make default_interval_ns
+let retention_cell = Atomic.make default_retention
+
+let on () = Atomic.get on_flag
+let interval_ns () = Atomic.get interval_cell
+let retention () = Atomic.get retention_cell
+
+let enable ?interval_ns ?retention () =
+  (match interval_ns with
+  | Some dt when dt < 1. ->
+      invalid_arg "Metrics.enable: interval_ns must be >= 1"
+  | Some dt -> Atomic.set interval_cell dt
+  | None -> ());
+  (match retention with
+  | Some n when n < 1 -> invalid_arg "Metrics.enable: retention must be >= 1"
+  | Some n -> Atomic.set retention_cell n
+  | None -> ());
+  Atomic.set on_flag true
+
+let disable () = Atomic.set on_flag false
+
+type mdata = Counter_v of float ref | Gauge_v of float ref | Dist_v of Histogram.t
+
+type reg = {
+  mutable tbl : (string, mdata) Hashtbl.t; (* key = "cat/name" *)
+  mutable snaps : snapshot Queue.t; (* oldest at the front *)
+  mutable snap_dropped : int;
+}
+
+let reg_key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 32; snaps = Queue.create (); snap_dropped = 0 })
+
+let key ~cat ~name = cat ^ "/" ^ name
+
+let split_key k =
+  match String.index_opt k '/' with
+  | Some i -> (String.sub k 0 i, String.sub k (i + 1) (String.length k - i - 1))
+  | None -> ("", k)
+
+let kind_mismatch k =
+  invalid_arg (Printf.sprintf "Metrics: %s already registered with another kind" k)
+
+let counter_cell reg k =
+  match Hashtbl.find_opt reg.tbl k with
+  | Some (Counter_v r) -> r
+  | Some _ -> kind_mismatch k
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add reg.tbl k (Counter_v r);
+      r
+
+let gauge_cell reg k =
+  match Hashtbl.find_opt reg.tbl k with
+  | Some (Gauge_v r) -> r
+  | Some _ -> kind_mismatch k
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add reg.tbl k (Gauge_v r);
+      r
+
+let hist_cell reg k =
+  match Hashtbl.find_opt reg.tbl k with
+  | Some (Dist_v h) -> h
+  | Some _ -> kind_mismatch k
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add reg.tbl k (Dist_v h);
+      h
+
+let counter_add ~cat ~name v =
+  if on () then begin
+    let r = counter_cell (Domain.DLS.get reg_key) (key ~cat ~name) in
+    r := !r +. v
+  end
+
+let counter_incr ~cat ~name = counter_add ~cat ~name 1.
+
+let gauge_set ~cat ~name v =
+  if on () then gauge_cell (Domain.DLS.get reg_key) (key ~cat ~name) := v
+
+let gauge_add ~cat ~name v =
+  if on () then begin
+    let r = gauge_cell (Domain.DLS.get reg_key) (key ~cat ~name) in
+    r := !r +. v
+  end
+
+let hist_observe ~cat ~name v =
+  if on () then Histogram.add (hist_cell (Domain.DLS.get reg_key) (key ~cat ~name)) v
+
+(* ---------------- Snapshots ---------------- *)
+
+let view = function
+  | Counter_v r -> Count !r
+  | Gauge_v r -> Level !r
+  | Dist_v h ->
+      Dist
+        {
+          n = Histogram.count h;
+          p50 = Histogram.percentile h 50.;
+          p99 = Histogram.percentile h 99.;
+          max_ = Histogram.percentile h 100.;
+        }
+
+let snapshot_of_reg reg ~at =
+  (* Sorted by key: Hashtbl iteration order must never leak into the
+     artifact (jobs-determinism is byte-level). *)
+  let values =
+    Hashtbl.fold (fun k m acc -> (k, view m) :: acc) reg.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { at; values }
+
+let push_snapshot reg snap =
+  let cap = retention () in
+  Queue.push snap reg.snaps;
+  while Queue.length reg.snaps > cap do
+    ignore (Queue.pop reg.snaps);
+    reg.snap_dropped <- reg.snap_dropped + 1
+  done
+
+let take_snapshot ~at =
+  if on () then begin
+    let reg = Domain.DLS.get reg_key in
+    push_snapshot reg (snapshot_of_reg reg ~at)
+  end
+
+let sample_boundaries ~from:t0 ~until:t1 =
+  if on () && t1 > t0 then begin
+    let dt = interval_ns () in
+    let reg = Domain.DLS.get reg_key in
+    let k1 = Float.floor (t1 /. dt) in
+    let k0 = Float.floor (t0 /. dt) +. 1. in
+    if k1 >= k0 then begin
+      (* All boundaries inside one clock jump see identical registry
+         values (no event ran between them), so when the jump spans
+         more boundaries than the retention window keeps, materialise
+         only the survivors and count the rest as dropped — the end
+         state is exactly what the naive loop would leave. *)
+      let n = int_of_float (k1 -. k0) + 1 in
+      let cap = retention () in
+      let k0 =
+        if n > cap then begin
+          reg.snap_dropped <- reg.snap_dropped + (n - cap);
+          k1 -. float_of_int (cap - 1)
+        end
+        else k0
+      in
+      let k = ref k0 in
+      while !k <= k1 do
+        push_snapshot reg (snapshot_of_reg reg ~at:(!k *. dt));
+        k := !k +. 1.
+      done
+    end
+  end
+
+(* ---------------- Read / capture / inject ---------------- *)
+
+let telemetry_of_reg reg =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  Hashtbl.iter
+    (fun k m ->
+      match m with
+      | Counter_v r -> counters := (k, !r) :: !counters
+      | Gauge_v r -> gauges := (k, !r) :: !gauges
+      (* Copy: the telemetry value must not alias live registry state. *)
+      | Dist_v h -> hists := (k, Histogram.merge h (Histogram.create ())) :: !hists)
+    reg.tbl;
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  {
+    snapshots = List.of_seq (Queue.to_seq reg.snaps);
+    snap_dropped = reg.snap_dropped;
+    counters = sorted !counters;
+    gauges = sorted !gauges;
+    hists = sorted !hists;
+  }
+
+let read () =
+  if not (on ()) then empty_telemetry
+  else telemetry_of_reg (Domain.DLS.get reg_key)
+
+let reset_registry () =
+  let reg = Domain.DLS.get reg_key in
+  reg.tbl <- Hashtbl.create 32;
+  reg.snaps <- Queue.create ();
+  reg.snap_dropped <- 0
+
+let capture f =
+  if not (on ()) then (f (), empty_telemetry)
+  else begin
+    let reg = Domain.DLS.get reg_key in
+    let saved_tbl = reg.tbl
+    and saved_snaps = reg.snaps
+    and saved_dropped = reg.snap_dropped in
+    reg.tbl <- Hashtbl.create 32;
+    reg.snaps <- Queue.create ();
+    reg.snap_dropped <- 0;
+    let restore () =
+      reg.tbl <- saved_tbl;
+      reg.snaps <- saved_snaps;
+      reg.snap_dropped <- saved_dropped
+    in
+    match f () with
+    | v ->
+        let tel = telemetry_of_reg reg in
+        restore ();
+        (v, tel)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        restore ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let inject tel =
+  if on () then begin
+    let reg = Domain.DLS.get reg_key in
+    List.iter
+      (fun (k, v) ->
+        let r = counter_cell reg k in
+        r := !r +. v)
+      tel.counters;
+    (* Last-writer-wins in submission order — same at every --jobs. *)
+    List.iter (fun (k, v) -> gauge_cell reg k := v) tel.gauges;
+    List.iter
+      (fun (k, h) ->
+        match Hashtbl.find_opt reg.tbl k with
+        | Some (Dist_v existing) ->
+            Hashtbl.replace reg.tbl k (Dist_v (Histogram.merge existing h))
+        | Some _ -> kind_mismatch k
+        | None ->
+            Hashtbl.add reg.tbl k (Dist_v (Histogram.merge h (Histogram.create ()))))
+      tel.hists;
+    List.iter (fun s -> push_snapshot reg s) tel.snapshots;
+    reg.snap_dropped <- reg.snap_dropped + tel.snap_dropped
+  end
+
+(* ---------------- Export ---------------- *)
+
+let to_trace_events tel =
+  let ev ~cat ~name ~ts value =
+    { Xc_trace.Trace.kind = Xc_trace.Trace.Counter; cat; name; ts; dur = 0.; value }
+  in
+  List.concat_map
+    (fun snap ->
+      List.concat_map
+        (fun (k, s) ->
+          let cat, name = split_key k in
+          match s with
+          | Count v | Level v -> [ ev ~cat ~name ~ts:snap.at v ]
+          | Dist d ->
+              [
+                ev ~cat ~name:(name ^ ".n") ~ts:snap.at (float_of_int d.n);
+                ev ~cat ~name:(name ^ ".p50") ~ts:snap.at d.p50;
+                ev ~cat ~name:(name ^ ".p99") ~ts:snap.at d.p99;
+                ev ~cat ~name:(name ^ ".max") ~ts:snap.at d.max_;
+              ])
+        snap.values)
+    tel.snapshots

@@ -1,9 +1,20 @@
-(** Named counters.
+(** Named counters and the global telemetry registry.
 
-    Each simulated component (CPU core, TLB, hypervisor, ABOM) accumulates
-    event counts into a registry; the benchmark harness reads them back to
-    explain *why* a configuration is fast or slow (e.g. "syscalls forwarded"
-    vs "syscalls as function calls" for Table 1). *)
+    Two layers:
+
+    + {b Instance registries} ([t]): each simulated component (CPU
+      core, TLB, hypervisor, ABOM) accumulates event counts into its
+      own registry; the benchmark harness reads them back to explain
+      {e why} a configuration is fast or slow (e.g. "syscalls
+      forwarded" vs "syscalls as function calls" for Table 1).
+    + {b Global telemetry} ({!section:telemetry}): a process-wide typed
+      registry of counters / gauges / histograms every substrate emits
+      into, sampled on the {e sim clock} into a bounded time-series of
+      {!snapshot}s by the engine (see [Engine]).  Disabled it costs one
+      atomic load per emitter; the state is domain-local and
+      {!capture}/{!inject} give [Parallel.run] the same deterministic
+      cross-domain merge the tracer has, so telemetry artifacts are
+      byte-identical at any [--jobs]. *)
 
 type t
 
@@ -25,3 +36,115 @@ val to_alist : t -> (string * float) list
 (** Sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1:telemetry Global telemetry registry} *)
+
+type dist_view = { n : int; p50 : float; p99 : float; max_ : float }
+(** Scalar projection of a histogram metric at snapshot time.  No
+    sum/mean: float addition is not associative, and snapshots must be
+    byte-identical however worker domains grouped the samples.  The
+    full [Histogram.t] (whose merge {e is} deterministic bucket-wise)
+    travels separately in {!telemetry}. *)
+
+type sample =
+  | Count of float  (** cumulative counter value *)
+  | Level of float  (** gauge level at snapshot time *)
+  | Dist of dist_view
+
+type snapshot = {
+  at : Time_ns.t;
+  values : (string * sample) list;  (** key = ["cat/name"], sorted *)
+}
+
+type telemetry = {
+  snapshots : snapshot list;  (** oldest first, at most [retention] *)
+  snap_dropped : int;  (** snapshots evicted by the retention bound *)
+  counters : (string * float) list;  (** final totals, sorted by key *)
+  gauges : (string * float) list;  (** final levels, sorted by key *)
+  hists : (string * Histogram.t) list;  (** full distributions, sorted *)
+}
+
+val empty_telemetry : telemetry
+
+val default_interval_ns : float
+(** 50 sim-µs. *)
+
+val default_retention : int
+(** 8192 snapshots per capture. *)
+
+val enable : ?interval_ns:float -> ?retention:int -> unit -> unit
+(** Turn telemetry on process-wide.  [interval_ns] (default
+    {!default_interval_ns}, must be >= 1) is the sim-clock snapshot
+    cadence; [retention] (default {!default_retention}, must be >= 1)
+    bounds the in-memory time-series — on overflow the oldest snapshot
+    is evicted and counted in [snap_dropped].  Both settings persist
+    until changed by a later [enable]. *)
+
+val disable : unit -> unit
+
+val on : unit -> bool
+(** One atomic load; inlinable.  Emitters are already guarded, but hot
+    call sites should test this before building arguments. *)
+
+val interval_ns : unit -> float
+val retention : unit -> int
+
+(** {2 Emitters}
+
+    All are no-ops when disabled.  [cat] names the substrate
+    (["cpu"], ["os"], ["mem"], ["hypervisor"], ["net"], ["platform"],
+    ["isa"], ["abom"], ["app"]) and must not contain ['/']. *)
+
+val counter_add : cat:string -> name:string -> float -> unit
+val counter_incr : cat:string -> name:string -> unit
+val gauge_set : cat:string -> name:string -> float -> unit
+val gauge_add : cat:string -> name:string -> float -> unit
+val hist_observe : cat:string -> name:string -> float -> unit
+
+(** {2 Snapshot driver} *)
+
+val take_snapshot : at:Time_ns.t -> unit
+(** Append one snapshot of the current domain's registry at sim time
+    [at], evicting the oldest beyond the retention bound. *)
+
+val sample_boundaries : from:Time_ns.t -> until:Time_ns.t -> unit
+(** Snapshot at every interval boundary [k*interval_ns] in
+    [(from, until]] — called by the engine each time the sim clock
+    advances, {e before} the event at [until] executes.  When one jump
+    spans more boundaries than the retention window, only the
+    survivors are materialised and the rest counted as dropped (their
+    values would all be identical anyway — no event ran between
+    them). *)
+
+(** {2 Reading and composition} *)
+
+val read : unit -> telemetry
+(** The current domain's registry as a telemetry value (registry left
+    untouched).  {!empty_telemetry} when disabled. *)
+
+val reset_registry : unit -> unit
+(** Discard the current domain's metrics, snapshots and drop count. *)
+
+val capture : (unit -> 'a) -> 'a * telemetry
+(** [capture f] runs [f] with a fresh registry on this domain and
+    returns [(result, telemetry)]; the state live before the call is
+    restored afterwards (also on exceptions, in which case the inner
+    telemetry is discarded and the exception re-raised).  When
+    disabled: [(f (), empty_telemetry)]. *)
+
+val inject : telemetry -> unit
+(** Merge a capture into the current domain's registry: counters add,
+    gauges overwrite (last-writer-wins in submission order), histograms
+    merge bucket-wise, snapshots append in order under the retention
+    bound.  [Parallel.run] injects worker captures in submission order,
+    so the merged registry is identical at any job count.  No-op when
+    disabled. *)
+
+(** {2 Export} *)
+
+val to_trace_events : telemetry -> Xc_trace.Trace.event list
+(** The snapshot time-series as [Counter] trace events (one per scalar
+    metric per snapshot; histogram metrics expand to [.n]/[.p50]/
+    [.p99]/[.max]), ready for [Xc_trace.Export.to_file] — so the
+    time-series lands in the same CSV / Chrome-trace containers as
+    event traces, and Chrome renders the counter tracks natively. *)

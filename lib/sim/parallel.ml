@@ -53,13 +53,15 @@ let run_plain ~jobs thunks =
 
 let run ?jobs thunks =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if not (Xc_trace.Trace.enabled ()) then run_plain ~jobs thunks
+  if not (Xc_trace.Trace.enabled () || Metrics.on ()) then run_plain ~jobs thunks
   else begin
-    (* Trace events recorded on a worker domain would die with the
-       domain, and which worker runs which thunk is racy.  So each
-       thunk records into its own fresh capture (even at jobs=1, so
-       the artifact is identical at any job count) and the calling
+    (* Trace events and telemetry recorded on a worker domain would die
+       with the domain, and which worker runs which thunk is racy.  So
+       each thunk records into its own fresh capture (even at jobs=1,
+       so the artifact is identical at any job count) and the calling
        domain replays the captures in submission order afterwards.
+       Whichever of the two recorders is disabled captures and injects
+       nothing, at no cost.
 
        Exceptions are caught inside the wrapper rather than left to
        [run_plain]'s merge: the merge re-raises before any capture
@@ -69,19 +71,21 @@ let run ?jobs thunks =
     let wrapped =
       List.map
         (fun f () ->
-          try Done (Xc_trace.Trace.capture f)
+          try Done (Metrics.capture (fun () -> Xc_trace.Trace.capture f))
           with e -> Raised (e, Printexc.get_raw_backtrace ()))
         thunks
     in
     let results = run_plain ~jobs wrapped in
     List.iter
       (function
-        | Done (_, captured) -> Xc_trace.Trace.inject captured
+        | Done ((_, captured), telemetry) ->
+            Xc_trace.Trace.inject captured;
+            Metrics.inject telemetry
         | Raised _ -> ())
       results;
     let rec values = function
       | [] -> []
-      | Done (v, _) :: rest -> v :: values rest
+      | Done ((v, _), _) :: rest -> v :: values rest
       | Raised (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
     in
     values results

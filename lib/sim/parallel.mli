@@ -47,11 +47,12 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
     thunk is re-raised (with its backtrace) after all workers have
     drained, so the failure is deterministic too.
 
-    When [Xc_trace.Trace.enabled], each thunk records trace events
-    into its own capture and the calling domain replays the captures
-    in submission order after the pool drains — at {e every} job
-    count, including 1 — so the trace artifact of a parallel run is
-    byte-identical to a sequential one.  (Each thunk's synthetic
+    When [Xc_trace.Trace.enabled] or [Metrics.on], each thunk records
+    trace events and telemetry (metrics + sim-clock snapshots) into
+    its own capture and the calling domain replays the captures in
+    submission order after the pool drains — at {e every} job count,
+    including 1 — so the trace and telemetry artifacts of a parallel
+    run are byte-identical to a sequential one.  (Each thunk's synthetic
     cursor therefore restarts at 0.)  On failure the captures of all
     {e completed} thunks are still injected, in submission order,
     before the lowest-indexed exception propagates: a failing sweep

@@ -1,0 +1,186 @@
+(* Tests for Xc_sim.Bench_history (the bench trajectory tracker) and
+   the per-experiment parser in Bench_json that feeds it. *)
+
+module BJ = Xc_sim.Bench_json
+module BH = Xc_sim.Bench_history
+
+let summary ?(git = "abc1234") ?(jobs = 2) ?(wall = 10.) ?(events = 1_000_000)
+    ?(eps = 100_000.) () =
+  {
+    BJ.git;
+    schema_version = 2;
+    jobs;
+    total_wall_s = wall;
+    total_events = events;
+    events_per_sec = eps;
+  }
+
+let entry ?git ?jobs ?wall ?events ?eps
+    ?(experiments =
+      [
+        { BJ.name = "fig3"; wall_s = 4.; events = 600_000; events_per_sec = 150_000. };
+        { BJ.name = "table1"; wall_s = 6.; events = 400_000; events_per_sec = 66_666.7 };
+      ]) () =
+  { BH.summary = summary ?git ?jobs ?wall ?events ?eps (); experiments }
+
+let test_line_roundtrip () =
+  let e = entry ~git:"v2-5-gdeadbee" () in
+  match BH.entry_of_string (BH.to_line e) with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok e' ->
+      Alcotest.(check string) "git" e.BH.summary.BJ.git e'.BH.summary.BJ.git;
+      Alcotest.(check int) "events" e.BH.summary.BJ.total_events
+        e'.BH.summary.BJ.total_events;
+      Alcotest.(check (list string)) "experiment names"
+        (List.map (fun (x : BJ.experiment) -> x.name) e.BH.experiments)
+        (List.map (fun (x : BJ.experiment) -> x.name) e'.BH.experiments);
+      Alcotest.(check int) "experiment events" 600_000
+        (List.hd e'.BH.experiments).BJ.events
+
+let test_experiments_parser () =
+  (* The artifact the bench harness writes: top-level fields, then
+     one-line experiment objects. *)
+  let artifact =
+    {|{
+  "schema_version": 2,
+  "git": "x",
+  "jobs": 1,
+  "total_wall_s": 2.0,
+  "total_events": 30,
+  "events_per_sec": 15.0,
+  "experiments": [
+    {"name": "a", "wall_s": 1.000000, "events": 10, "events_per_sec": 10.0},
+    {"name": "b", "wall_s": 1.000000, "events": 20, "events_per_sec": 20.0}
+  ]
+}|}
+  in
+  let xs = BJ.experiments_of_string artifact in
+  Alcotest.(check (list string)) "names" [ "a"; "b" ]
+    (List.map (fun (x : BJ.experiment) -> x.name) xs);
+  Alcotest.(check (list int)) "events" [ 10; 20 ]
+    (List.map (fun (x : BJ.experiment) -> x.events) xs);
+  Alcotest.(check (list string)) "missing field is empty" []
+    (List.map
+       (fun (x : BJ.experiment) -> x.name)
+       (BJ.experiments_of_string {|{"schema_version": 2}|}))
+
+let test_of_file_names_bad_line () =
+  let path = Filename.temp_file "hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (BH.to_line (entry ()));
+      output_string oc "\n\nnot json at all\n";
+      close_out oc;
+      match BH.of_file path with
+      | Ok _ -> Alcotest.fail "malformed line must be an error"
+      | Error m ->
+          let needle = ":3:" in
+          let rec has i =
+            i + String.length needle <= String.length m
+            && (String.sub m i (String.length needle) = needle || has (i + 1))
+          in
+          Alcotest.(check bool) "names line 3" true (has 0))
+
+let test_check_window_mean () =
+  (* History of eps 100k,200k,300k; window 2 -> mean 250k.  A current
+     run at 250k is flat; at 180k it's a >3% drop. *)
+  let entries =
+    [ entry ~eps:100_000. (); entry ~eps:200_000. (); entry ~eps:300_000. () ]
+  in
+  (match BH.check ~window:2 entries (summary ~eps:250_000. ()) with
+  | Error m -> Alcotest.failf "check failed: %s" m
+  | Ok (report, regressed) ->
+      Alcotest.(check bool) "flat run passes" false regressed;
+      Alcotest.(check bool) "report names the window baseline" true
+        (let needle = "history-mean-of-2" in
+         let rec has i =
+           i + String.length needle <= String.length report
+           && (String.sub report i (String.length needle) = needle
+              || has (i + 1))
+         in
+         has 0));
+  (match BH.check ~window:2 entries (summary ~eps:180_000. ()) with
+  | Error m -> Alcotest.failf "check failed: %s" m
+  | Ok (_, regressed) ->
+      Alcotest.(check bool) "28%% drop regresses" true regressed);
+  (match BH.check ~window:2 [] (summary ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty history must be an error");
+  match BH.check ~window:0 (entries) (summary ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "window 0 must be an error"
+
+let test_csv_and_plot () =
+  let entries = [ entry ~git:"run1" ~eps:100_000. (); entry ~git:"run2" ~eps:120_000. () ] in
+  let csv = BH.to_csv entries in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header"
+    "experiment,run,git,jobs,wall_s,events,events_per_sec" (List.hd lines);
+  (* total x2 + fig3 x2 + table1 x2 *)
+  Alcotest.(check int) "rows" 7 (List.length lines);
+  let plot = BH.plot entries in
+  let has needle hay =
+    let rec go i =
+      i + String.length needle <= String.length hay
+      && (String.sub hay i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "total series present" true
+    (has "== total (2 runs) ==" plot);
+  Alcotest.(check bool) "per-experiment series present" true
+    (has "== fig3 (2 runs) ==" plot);
+  Alcotest.(check bool) "commit stamps present" true (has "run2" plot);
+  let only = BH.plot ~experiment:"table1" entries in
+  Alcotest.(check bool) "restricted plot drops total" false
+    (has "== total" only);
+  Alcotest.(check bool) "restricted plot keeps table1" true
+    (has "== table1 (2 runs) ==" only)
+
+let test_append_creates_and_appends () =
+  let dir = Filename.temp_file "histdir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let bench = Filename.concat dir "BENCH_sim.json" in
+  let history = Filename.concat dir "HISTORY.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let oc = open_out bench in
+      output_string oc (BH.to_line (entry ~git:"seed1" ()));
+      close_out oc;
+      (match BH.append ~history ~bench with
+      | Error m -> Alcotest.failf "first append failed: %s" m
+      | Ok _ -> ());
+      (match BH.append ~history ~bench with
+      | Error m -> Alcotest.failf "second append failed: %s" m
+      | Ok _ -> ());
+      match BH.of_file history with
+      | Error m -> Alcotest.failf "read-back failed: %s" m
+      | Ok entries ->
+          Alcotest.(check int) "two entries" 2 (List.length entries);
+          Alcotest.(check string) "git survives" "seed1"
+            (List.hd entries).BH.summary.BJ.git)
+
+let suites =
+  [
+    ( "bench-history",
+      [
+        Alcotest.test_case "JSONL line round-trips" `Quick test_line_roundtrip;
+        Alcotest.test_case "per-experiment artifact parser" `Quick
+          test_experiments_parser;
+        Alcotest.test_case "malformed line names its number" `Quick
+          test_of_file_names_bad_line;
+        Alcotest.test_case "check against trailing-window mean" `Quick
+          test_check_window_mean;
+        Alcotest.test_case "csv and ascii trajectory" `Quick test_csv_and_plot;
+        Alcotest.test_case "append creates then extends" `Quick
+          test_append_creates_and_appends;
+      ] );
+  ]
