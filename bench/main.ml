@@ -54,6 +54,16 @@ let print_table t = print_string (T.render t)
 let section title =
   printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
 
+(* An experiment is either one unsplittable thunk or a set of
+   independent cells (shards) plus a printer over their index-ordered
+   results.  Cells are the unit the work-stealing pool schedules, so
+   the big sweeps (fig3, macro-extra, latency) no longer serialize the
+   whole bench behind one worker; the printer runs in the deterministic
+   merge phase, so output is byte-identical at any --jobs. *)
+type body =
+  | Whole of (unit -> unit)
+  | Cells : { shards : (unit -> 'b) array; print : 'b array -> unit } -> body
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
@@ -93,41 +103,59 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
 
-let fig3 () =
-  section "Figure 3: macrobenchmarks (relative to patched Docker)";
-  List.iter
-    (fun app ->
-      let t =
-        T.create
-          ~title:(Figures.macro_app_name app)
-          [
-            ("configuration", T.Left);
-            ("Amazon tput", T.Right);
-            ("Amazon lat", T.Right);
-            ("Google tput", T.Right);
-            ("Google lat", T.Right);
-          ]
-      in
-      let amazon = Figures.fig3 Config.Amazon_ec2 app in
-      let google = Figures.fig3 Config.Google_gce app in
-      let rel_la = Figures.relative_latency amazon
-      and rel_tg = Figures.relative_throughput google
-      and rel_lg = Figures.relative_latency google in
-      List.iter
-        (fun (name, ta) ->
-          let get l = match List.assoc_opt name l with Some v -> v | None -> nan in
-          T.add_row t
-            [
-              name;
-              T.fmt_ratio ta;
-              T.fmt_ratio (get rel_la);
-              T.fmt_ratio (get rel_tg);
-              T.fmt_ratio (get rel_lg);
-            ])
-        (Figures.relative_throughput amazon);
-      print_table t;
-      print_newline ())
-    Figures.macro_apps
+(* One cell per (app × cloud): 6 independent closed-loop sweeps the
+   pool can schedule freely; the per-app tables need both clouds, so
+   they render in the merge-phase printer from the cell results. *)
+let fig3 =
+  let apps = Array.of_list Figures.macro_apps in
+  let clouds = [| Config.Amazon_ec2; Config.Google_gce |] in
+  Cells
+    {
+      shards =
+        Array.init
+          (Array.length apps * Array.length clouds)
+          (fun i ->
+            let app = apps.(i / 2) and cloud = clouds.(i mod 2) in
+            fun () -> Figures.fig3 cloud app);
+      print =
+        (fun results ->
+          section "Figure 3: macrobenchmarks (relative to patched Docker)";
+          Array.iteri
+            (fun a app ->
+              let t =
+                T.create
+                  ~title:(Figures.macro_app_name app)
+                  [
+                    ("configuration", T.Left);
+                    ("Amazon tput", T.Right);
+                    ("Amazon lat", T.Right);
+                    ("Google tput", T.Right);
+                    ("Google lat", T.Right);
+                  ]
+              in
+              let amazon = results.((2 * a) + 0) in
+              let google = results.((2 * a) + 1) in
+              let rel_la = Figures.relative_latency amazon
+              and rel_tg = Figures.relative_throughput google
+              and rel_lg = Figures.relative_latency google in
+              List.iter
+                (fun (name, ta) ->
+                  let get l =
+                    match List.assoc_opt name l with Some v -> v | None -> nan
+                  in
+                  T.add_row t
+                    [
+                      name;
+                      T.fmt_ratio ta;
+                      T.fmt_ratio (get rel_la);
+                      T.fmt_ratio (get rel_tg);
+                      T.fmt_ratio (get rel_lg);
+                    ])
+                (Figures.relative_throughput amazon);
+              print_table t;
+              print_newline ())
+            apps);
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4                                                            *)
@@ -518,9 +546,11 @@ let clone () =
 (* ------------------------------------------------------------------ *)
 (* Extension: the wider application sweep                              *)
 
-let macro_extra () =
-  section
-    "Extended macro sweep: relative throughput across eleven applications";
+(* One cell per (application × platform config): 44 independent
+   closed-loop runs.  The normalisation base (patched Docker) is the
+   row's first cell, so the printer needs the whole row — it renders in
+   the merge phase. *)
+let macro_extra =
   let apps =
     [
       ("NGINX", fun c p -> Figures.(server_for_public c p `Nginx));
@@ -541,32 +571,54 @@ let macro_extra () =
       (fun r -> Config.make ~cloud:Config.Amazon_ec2 r)
       [ Config.Docker; Config.Xen_container; Config.X_container; Config.Gvisor ]
   in
-  let t =
-    T.create
-      (("application", T.Left)
-      :: List.map (fun c -> (Config.name c, T.Right)) configs)
-  in
-  List.iter
-    (fun (name, make_server) ->
-      let tput config =
-        let platform = Xc_platforms.Platform.create config in
-        let server = make_server config platform in
-        (Xc_platforms.Closed_loop.run
-           { Xc_platforms.Closed_loop.default_config with connections = 96 }
-           server)
-          .throughput_rps
-      in
-      let base = tput (List.hd configs) in
-      T.add_row t
-        (name :: List.map (fun c -> T.fmt_ratio (tput c /. base)) configs))
-    apps;
-  print_table t;
-  print_newline ();
-  print_endline
-    "(normalised to patched Docker; the syscall-dense caches gain the most,";
-  print_endline
-    " the user-space-heavy databases the least - the Table 1/Figure 3 story";
-  print_endline " extended over the rest of the paper's application list)"
+  let apps_a = Array.of_list apps in
+  let nc = List.length configs in
+  let configs_a = Array.of_list configs in
+  Cells
+    {
+      shards =
+        Array.init
+          (Array.length apps_a * nc)
+          (fun i ->
+            let _, make_server = apps_a.(i / nc) in
+            let config = configs_a.(i mod nc) in
+            fun () ->
+              let platform = Xc_platforms.Platform.create config in
+              let server = make_server config platform in
+              (Xc_platforms.Closed_loop.run
+                 { Xc_platforms.Closed_loop.default_config with connections = 96 }
+                 server)
+                .throughput_rps);
+      print =
+        (fun tputs ->
+          section
+            "Extended macro sweep: relative throughput across eleven \
+             applications";
+          let t =
+            T.create
+              (("application", T.Left)
+              :: List.map (fun c -> (Config.name c, T.Right)) configs)
+          in
+          Array.iteri
+            (fun a (name, _) ->
+              let base = tputs.(a * nc) in
+              T.add_row t
+                (name
+                :: List.mapi
+                     (fun c _ -> T.fmt_ratio (tputs.((a * nc) + c) /. base))
+                     configs))
+            apps_a;
+          print_table t;
+          print_newline ();
+          print_endline
+            "(normalised to patched Docker; the syscall-dense caches gain the \
+             most,";
+          print_endline
+            " the user-space-heavy databases the least - the Table 1/Figure 3 \
+             story";
+          print_endline
+            " extended over the rest of the paper's application list)");
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Extension: serverless cold starts                                   *)
@@ -605,18 +657,13 @@ let coldstart () =
 (* ------------------------------------------------------------------ *)
 (* Extension: open-loop latency curves                                 *)
 
-let latency () =
-  section "Open-loop latency vs load: NGINX, Docker vs X-Container (extension)";
-  let t =
-    T.create
-      [
-        ("load", T.Right);
-        ("Docker p50", T.Right);
-        ("Docker p99", T.Right);
-        ("XC p50", T.Right);
-        ("XC p99", T.Right);
-      ]
-  in
+(* One cell per (load fraction × runtime): 10 independent open-loop
+   runs.  Each cell rebuilds its (analytic, cheap) server and the
+   Docker capacity it normalises against, so cells share nothing and
+   the pool can run them in any order. *)
+let latency =
+  let fractions = [| 0.3; 0.5; 0.7; 0.85; 0.95 |] in
+  let runtimes = [| Config.Docker; Config.X_container |] in
   let server runtime =
     let platform = Xc_platforms.Platform.create (Config.make runtime) in
     let recipe = Xc_apps.Nginx.static_request_wrk in
@@ -628,33 +675,56 @@ let latency () =
         overhead_ns = 0.;
       } )
   in
-  let docker_service, docker_server = server Config.Docker in
-  let _, xc_server = server Config.X_container in
-  let capacity = 4e9 /. docker_service in
-  List.iter
-    (fun fraction ->
-      let rate = fraction *. capacity in
-      let run srv =
-        Xc_platforms.Open_loop.run
-          (Xc_platforms.Open_loop.config ~rate_rps:rate ())
-          srv
-      in
-      let d = run docker_server and x = run xc_server in
-      let us v = Printf.sprintf "%.0fus" (v /. 1e3) in
-      T.add_row t
-        [
-          Printf.sprintf "%.0f%%" (fraction *. 100.);
-          us d.Xc_platforms.Open_loop.p50_ns;
-          us d.Xc_platforms.Open_loop.p99_ns;
-          us x.Xc_platforms.Open_loop.p50_ns;
-          us x.Xc_platforms.Open_loop.p99_ns;
-        ])
-    [ 0.3; 0.5; 0.7; 0.85; 0.95 ];
-  print_table t;
-  print_endline
-    "(load normalised to Docker's capacity: at 95% of Docker's limit the";
-  print_endline
-    " X-Container still has headroom, so its tail stays flat)"
+  Cells
+    {
+      shards =
+        Array.init
+          (Array.length fractions * Array.length runtimes)
+          (fun i ->
+            let fraction = fractions.(i / 2) and runtime = runtimes.(i mod 2) in
+            fun () ->
+              let docker_service, _ = server Config.Docker in
+              let _, srv = server runtime in
+              let capacity = 4e9 /. docker_service in
+              Xc_platforms.Open_loop.run
+                (Xc_platforms.Open_loop.config
+                   ~rate_rps:(fraction *. capacity) ())
+                srv);
+      print =
+        (fun results ->
+          section
+            "Open-loop latency vs load: NGINX, Docker vs X-Container \
+             (extension)";
+          let t =
+            T.create
+              [
+                ("load", T.Right);
+                ("Docker p50", T.Right);
+                ("Docker p99", T.Right);
+                ("XC p50", T.Right);
+                ("XC p99", T.Right);
+              ]
+          in
+          Array.iteri
+            (fun i fraction ->
+              let d = results.(2 * i) and x = results.((2 * i) + 1) in
+              let us v = Printf.sprintf "%.0fus" (v /. 1e3) in
+              T.add_row t
+                [
+                  Printf.sprintf "%.0f%%" (fraction *. 100.);
+                  us d.Xc_platforms.Open_loop.p50_ns;
+                  us d.Xc_platforms.Open_loop.p99_ns;
+                  us x.Xc_platforms.Open_loop.p50_ns;
+                  us x.Xc_platforms.Open_loop.p99_ns;
+                ])
+            fractions;
+          print_table t;
+          print_endline
+            "(load normalised to Docker's capacity: at 95% of Docker's limit \
+             the";
+          print_endline
+            " X-Container still has headroom, so its tail stays flat)");
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Extension: the kernel-compilation counterpoint                      *)
@@ -955,25 +1025,25 @@ let micro () =
 
 let all_experiments =
   [
-    ("table1", table1);
+    ("table1", Whole table1);
     ("fig3", fig3);
-    ("fig4", fig4);
-    ("fig5", fig5);
-    ("fig6", fig6);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("boot", boot);
-    ("ablation", ablation);
-    ("fig8sim", fig8sim);
-    ("security", security);
-    ("migration", migration);
-    ("clone", clone);
+    ("fig4", Whole fig4);
+    ("fig5", Whole fig5);
+    ("fig6", Whole fig6);
+    ("fig8", Whole fig8);
+    ("fig9", Whole fig9);
+    ("boot", Whole boot);
+    ("ablation", Whole ablation);
+    ("fig8sim", Whole fig8sim);
+    ("security", Whole security);
+    ("migration", Whole migration);
+    ("clone", Whole clone);
     ("latency", latency);
-    ("coldstart", coldstart);
+    ("coldstart", Whole coldstart);
     ("macro-extra", macro_extra);
-    ("build-bench", build_bench);
-    ("density", density);
-    ("csv", csv);
+    ("build-bench", Whole build_bench);
+    ("density", Whole density);
+    ("csv", Whole csv);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -997,17 +1067,30 @@ let smoke_experiments =
         printf "%-20s %.1f%%\n" m.profile.name (100. *. m.auto_reduction))
       (Figures.table1 ~invocations:2_000 ())
   in
-  let macro_smoke () =
-    section "Smoke: closed-loop macro, 20ms simulated";
-    let config = { CL.default_config with duration_ns = 2e7; warmup_ns = 2e6 } in
-    List.iter
-      (fun runtime ->
-        let c = Config.make runtime in
-        let platform = Xc_platforms.Platform.create c in
-        let server = Figures.server_for_public c platform `Nginx in
-        let r = CL.run config server in
-        printf "%-24s %s req/s\n" (Config.name c) (T.fmt_si r.throughput_rps))
-      [ Config.Docker; Config.X_container ]
+  (* Two cells (one per runtime): the cheapest sharded experiment, and
+     the one the tier-1 determinism rules cmp at --jobs 1 vs 2. *)
+  let macro_smoke =
+    Cells
+      {
+        shards =
+          Array.map
+            (fun runtime () ->
+              let c = Config.make runtime in
+              let platform = Xc_platforms.Platform.create c in
+              let server = Figures.server_for_public c platform `Nginx in
+              let config =
+                { CL.default_config with duration_ns = 2e7; warmup_ns = 2e6 }
+              in
+              let r = CL.run config server in
+              (Config.name c, r.CL.throughput_rps))
+            [| Config.Docker; Config.X_container |];
+        print =
+          (fun rows ->
+            section "Smoke: closed-loop macro, 20ms simulated";
+            Array.iter
+              (fun (name, rps) -> printf "%-24s %s req/s\n" name (T.fmt_si rps))
+              rows);
+      }
   in
   let latency_smoke () =
     section "Smoke: open-loop latency, 20ms simulated";
@@ -1049,10 +1132,10 @@ let smoke_experiments =
   in
   List.map (fun n -> (n, List.assoc n all_experiments)) cheap
   @ [
-      ("table1-smoke", table1_smoke);
+      ("table1-smoke", Whole table1_smoke);
       ("macro-smoke", macro_smoke);
-      ("latency-smoke", latency_smoke);
-      ("fig8sim-smoke", fig8sim_smoke);
+      ("latency-smoke", Whole latency_smoke);
+      ("fig8sim-smoke", Whole fig8sim_smoke);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1085,6 +1168,69 @@ let instrument (name, f) () =
   let wall_s = Unix.gettimeofday () -. t0 in
   let events = Xc_sim.Engine.domain_events () - events0 in
   { name; output = Buffer.contents buf; wall_s; events; trace; telemetry }
+
+(* The per-cell analogue of an {!outcome}: what one shard of a [Cells]
+   experiment measured, before the merge phase assembles the pieces. *)
+type 'b piece = {
+  p_data : 'b;
+  p_out : string;
+  p_wall : float;
+  p_events : int;
+  p_trace : Xc_trace.Trace.captured;
+  p_tel : Xc_sim.Metrics.telemetry;
+}
+
+let instrument_cell f () =
+  let buf = out () in
+  Buffer.clear buf;
+  let events0 = Xc_sim.Engine.domain_events () in
+  let t0 = Unix.gettimeofday () in
+  let (p_data, p_trace), p_tel =
+    Xc_sim.Metrics.capture (fun () -> Xc_trace.Trace.capture f)
+  in
+  let p_wall = Unix.gettimeofday () -. t0 in
+  {
+    p_data;
+    p_out = Buffer.contents buf;
+    p_wall;
+    p_events = Xc_sim.Engine.domain_events () - events0;
+    p_trace;
+    p_tel;
+  }
+
+(* A [Whole] experiment is one shard; a [Cells] experiment hands every
+   cell to the pool and assembles the outcome in the (deterministic,
+   index-ordered) merge phase: outputs concatenate, wall/events sum,
+   traces concatenate with rebased cursors, telemetry merges.  The
+   printer runs against a cleared buffer so its tables land after any
+   output the cells themselves produced. *)
+let shard_of_experiment (name, body) : outcome Xc_sim.Parallel.Shard.t =
+  match body with
+  | Whole f -> Xc_sim.Parallel.Shard.thunk (instrument (name, f))
+  | Cells { shards; print } ->
+      Xc_sim.Parallel.Shard.make
+        ~shards:(Array.map instrument_cell shards)
+        ~merge:(fun pieces ->
+          let buf = out () in
+          Buffer.clear buf;
+          print (Array.map (fun p -> p.p_data) pieces);
+          let printed = Buffer.contents buf in
+          {
+            name;
+            output =
+              String.concat ""
+                (Array.to_list (Array.map (fun p -> p.p_out) pieces))
+              ^ printed;
+            wall_s = Array.fold_left (fun a p -> a +. p.p_wall) 0. pieces;
+            events = Array.fold_left (fun a p -> a + p.p_events) 0 pieces;
+            trace =
+              Xc_trace.Trace.concat
+                (Array.to_list (Array.map (fun p -> p.p_trace) pieces));
+            telemetry =
+              Array.fold_left
+                (fun a p -> Xc_sim.Metrics.merge_telemetry a p.p_tel)
+                Xc_sim.Metrics.empty_telemetry pieces;
+          })
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1150,7 +1296,9 @@ let run_experiments ~jobs ~trace_out ~sample ~timeseries_out ~interval_us
   if timeseries_out <> None then
     Xc_sim.Metrics.enable ~interval_ns:(float_of_int interval_us *. 1e3) ();
   let t0 = Unix.gettimeofday () in
-  let outcomes = Xc_sim.Parallel.run ~jobs (List.map instrument experiments) in
+  let outcomes =
+    Xc_sim.Parallel.run_sharded ~jobs (List.map shard_of_experiment experiments)
+  in
   let wall_s = Unix.gettimeofday () -. t0 in
   List.iter (fun o -> Stdlib.print_string o.output) outcomes;
   write_bench_json ~jobs ~trace_out ~wall_s outcomes;
@@ -1257,7 +1405,9 @@ let () =
     match Xc_sim.Parallel.jobs_of_string s with
     | Ok n -> jobs := n
     | Error _ ->
-        Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" s;
+        Printf.eprintf
+          "bench: --jobs expects a positive integer (or 0 for auto), got %S\n"
+          s;
         exit 2
   in
   let trace_out = ref None in
@@ -1328,7 +1478,7 @@ let () =
   in
   let names = parse [] args in
   let lookup name =
-    if name = "micro" then Some [ ("micro", micro) ]
+    if name = "micro" then Some [ ("micro", Whole micro) ]
     else if name = "smoke" then Some smoke_experiments
     else
       match List.assoc_opt name all_experiments with

@@ -437,11 +437,15 @@ let profile_binary_cmd =
 
 (* ---------------- xc sweep ---------------- *)
 
-(* Shared --jobs validation: explicit value must be positive, absent
-   falls back to $XC_JOBS (itself validated) or 1. *)
+(* Shared --jobs validation: explicit value must be positive (0 means
+   "auto": whatever the host can usefully run), absent falls back to
+   $XC_JOBS (itself validated, 0-is-auto included) or 1. *)
 let jobs_or_exit = function
+  | Some 0 -> Xc_sim.Parallel.recommended_jobs ()
   | Some n when n >= 1 -> n
-  | Some n -> exit_err (Printf.sprintf "--jobs expects a positive integer, got %d" n)
+  | Some n ->
+      exit_err
+        (Printf.sprintf "--jobs expects a positive integer (or 0 for auto), got %d" n)
   | None -> (
       match Xc_sim.Parallel.jobs_from_env () with
       | Ok n -> n
@@ -530,7 +534,7 @@ let sweep_cmd =
     Printf.printf "%d points in %.2fs wall with %d domain(s)\n"
       (List.length configs) wall jobs;
     match (trace_out, captured) with
-    | Some path, Some { Xc_trace.Trace.events; dropped; streams } ->
+    | Some path, Some { Xc_trace.Trace.events; dropped; streams; _ } ->
         Xc_trace.Export.to_file ~dropped ~path [ ("sweep", events) ];
         let seen =
           List.fold_left (fun a (s : Xc_trace.Trace.Stream.t) -> a + s.seen) 0 streams
@@ -904,7 +908,7 @@ let trace_run_cmd =
     in
     Trace.disable ();
     Xc_sim.Metrics.disable ();
-    let { Trace.events; dropped; streams } = captured in
+    let { Trace.events; dropped; streams; _ } = captured in
     let label = exp ^ "/" ^ Xc_platforms.Config.name config in
     (* With a sampling stride, rescale spans by the exact per-stream
        kept/seen counters so the summary estimates the full run. *)
@@ -1362,6 +1366,86 @@ let bench_check_cmd =
              baseline; exit nonzero on a regression beyond the threshold.")
     Term.(const run $ current $ baseline $ threshold)
 
+(* ---------------- xc bench scale ---------------- *)
+
+let bench_scale_cmd =
+  let max_jobs =
+    Arg.(value & opt int 4
+        & info [ "max-jobs" ] ~docv:"N"
+            ~doc:"Highest job count to measure (the table runs 1..N).")
+  in
+  let duration_ms =
+    Arg.(value & opt float 40.
+        & info [ "duration" ] ~docv:"MS"
+            ~doc:"Simulated duration per sweep point, in ms.")
+  in
+  let containers =
+    Arg.(value & opt (list int) [ 8; 16 ]
+        & info [ "containers" ] ~doc:"Comma-separated container counts.")
+  in
+  let run max_jobs duration_ms counts =
+    if max_jobs < 1 then
+      exit_err
+        (Printf.sprintf "--max-jobs expects a positive integer, got %d" max_jobs);
+    let module CS = Xc_platforms.Cluster_sim in
+    let point mode n =
+      {
+        (CS.default_config mode ~containers:n) with
+        duration_ns = duration_ms *. 1e6;
+        warmup_ns = duration_ms *. 1e5;
+        client_rtt_ns = 1e6;
+      }
+    in
+    let configs =
+      List.concat_map (fun n -> [ point CS.Flat n; point CS.Hierarchical n ]) counts
+    in
+    Printf.printf
+      "cluster sweep, %d shard(s), host parallelism %d (requests above it run \
+       capped)\n\n"
+      (List.length configs)
+      (Xc_sim.Parallel.recommended_jobs ());
+    let t =
+      Xc_sim.Table.create
+        [
+          ("jobs", Xc_sim.Table.Right);
+          ("wall", Xc_sim.Table.Right);
+          ("speedup", Xc_sim.Table.Right);
+          ("efficiency", Xc_sim.Table.Right);
+        ]
+    in
+    let reference = ref None in
+    let t1 = ref 0. in
+    let identical = ref true in
+    for jobs = 1 to max_jobs do
+      let t0 = Unix.gettimeofday () in
+      let results = CS.run_sweep ~jobs configs in
+      let wall = Unix.gettimeofday () -. t0 in
+      (match !reference with
+      | None ->
+          reference := Some results;
+          t1 := wall
+      | Some r -> if results <> r then identical := false);
+      let speedup = if wall > 0. then !t1 /. wall else 1. in
+      Xc_sim.Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3fs" wall;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.0f%%" (100. *. speedup /. float_of_int jobs);
+        ]
+    done;
+    Xc_sim.Table.print t;
+    Printf.printf "\nresults identical across job counts: %s\n"
+      (if !identical then "yes" else "NO");
+    if not !identical then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Run the sharded cluster sweep at --jobs 1..N and print the \
+             speedup-per-jobs table; exits nonzero if any job count \
+             changes a result.")
+    Term.(const run $ max_jobs $ duration_ms $ containers)
+
 (* ---------------- xc bench history ---------------- *)
 
 let history_arg =
@@ -1477,7 +1561,7 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Operate on bench artifacts (run the bench itself with dune \
              exec bench/main.exe).")
-    [ bench_check_cmd; bench_history_cmd ]
+    [ bench_check_cmd; bench_scale_cmd; bench_history_cmd ]
 
 (* ---------------- main ---------------- *)
 

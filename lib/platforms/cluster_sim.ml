@@ -422,7 +422,21 @@ let run config =
       !busy /. (float_of_int config.pcpus *. (measure_end +. config.client_rtt_ns));
   }
 
-let run_sweep ?jobs configs = Xc_sim.Parallel.map ?jobs run configs
+(* One task, one shard per config: the sweep is the canonical sharded
+   workload — each config is an independent seeded simulation and the
+   merge is just the index-ordered collect, so the result (and any
+   enclosing trace) is identical at every job count. *)
+let run_sweep ?jobs configs =
+  match
+    Xc_sim.Parallel.run_sharded ?jobs
+      [
+        Xc_sim.Parallel.Shard.make
+          ~shards:(Array.of_list (List.map (fun c () -> run c) configs))
+          ~merge:Array.to_list;
+      ]
+  with
+  | [ results ] -> results
+  | _ -> assert false
 
 (* ---------------- Platform-derived configs ---------------- *)
 

@@ -105,6 +105,21 @@ let check ?(threshold_pct = Bench_json.default_threshold_pct)
   if window < 1 then Error "window must be >= 1"
   else if entries = [] then Error "history is empty — nothing to check against"
   else begin
+    (* Only entries recorded at the same job count form the baseline:
+       a parallel run's wall-clock must never pollute the jobs-1 drift
+       gate (and vice versa). *)
+    let entries =
+      List.filter
+        (fun e -> e.summary.Bench_json.jobs = current.Bench_json.jobs)
+        entries
+    in
+    if entries = [] then
+      Error
+        (Printf.sprintf
+           "history has no entries at jobs %d — append one before checking \
+            drift at that job count"
+           current.Bench_json.jobs)
+    else begin
     let n = List.length entries in
     let tail =
       if n <= window then entries
@@ -128,14 +143,17 @@ let check ?(threshold_pct = Bench_json.default_threshold_pct)
     Ok
       ( Bench_json.render ~threshold_pct ~baseline ~current verdicts,
         Bench_json.regressed verdicts )
+    end
   end
 
 (* ---------------- Trajectory rendering ---------------- *)
 
 let total_name = "total"
 
-(* (experiment, (git, jobs, wall_s, events, events_per_sec) per entry);
-   "total" first, then every experiment name in first-seen order. *)
+(* ((experiment, jobs), (git, wall_s, events, events_per_sec) per entry);
+   "total" first, then every experiment name in first-seen order —
+   each name split into one series per job count (first-seen order),
+   so a parallel run charts next to, never into, the jobs-1 series. *)
 let series entries =
   let names = ref [] in
   List.iter
@@ -145,10 +163,16 @@ let series entries =
           if not (List.mem x.name !names) then names := x.name :: !names)
         e.experiments)
     entries;
+  let jobs_of e = e.summary.Bench_json.jobs in
+  let job_counts =
+    List.fold_left
+      (fun acc e -> if List.mem (jobs_of e) acc then acc else jobs_of e :: acc)
+      [] entries
+    |> List.rev
+  in
   let row_of_total e =
     let s = e.summary in
     ( s.Bench_json.git,
-      s.Bench_json.jobs,
       s.Bench_json.total_wall_s,
       s.Bench_json.total_events,
       s.Bench_json.events_per_sec )
@@ -158,22 +182,29 @@ let series entries =
       List.find_opt (fun (x : Bench_json.experiment) -> x.name = name) e.experiments
     with
     | Some x ->
-        Some (e.summary.Bench_json.git, e.summary.Bench_json.jobs, x.wall_s,
-              x.events, x.events_per_sec)
+        Some (e.summary.Bench_json.git, x.wall_s, x.events, x.events_per_sec)
     | None -> None
   in
-  (total_name, List.map row_of_total entries)
-  :: List.map
-       (fun name -> (name, List.filter_map (row_of_exp name) entries))
-       (List.rev !names)
+  List.concat_map
+    (fun name ->
+      List.filter_map
+        (fun jobs ->
+          let at_jobs = List.filter (fun e -> jobs_of e = jobs) entries in
+          let rows =
+            if name = total_name then List.map row_of_total at_jobs
+            else List.filter_map (row_of_exp name) at_jobs
+          in
+          if rows = [] then None else Some ((name, jobs), rows))
+        job_counts)
+    (total_name :: List.rev !names)
 
 let to_csv entries =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "experiment,run,git,jobs,wall_s,events,events_per_sec\n";
   List.iter
-    (fun (name, rows) ->
+    (fun ((name, jobs), rows) ->
       List.iteri
-        (fun i (git, jobs, wall, events, eps) ->
+        (fun i (git, wall, events, eps) ->
           Printf.bprintf buf "%s,%d,%s,%d,%f,%d,%.1f\n" name (i + 1) git jobs
             wall events eps)
         rows)
@@ -188,27 +219,28 @@ let plot ?experiment entries =
     match experiment with
     | None -> series entries
     | Some name ->
-        List.filter (fun (n, _) -> n = name) (series entries)
+        List.filter (fun ((n, _), _) -> n = name) (series entries)
   in
   if wanted = [] then
     Printf.bprintf buf "no such experiment in history: %s\n"
       (Option.value ~default:"?" experiment);
   List.iter
-    (fun (name, rows) ->
+    (fun ((name, jobs), rows) ->
       if rows <> [] then begin
-        Printf.bprintf buf "== %s (%d run%s) ==\n" name (List.length rows)
+        Printf.bprintf buf "== %s (jobs %d, %d run%s) ==\n" name jobs
+          (List.length rows)
           (if List.length rows = 1 then "" else "s");
         let max_eps =
-          List.fold_left (fun m (_, _, _, _, eps) -> Float.max m eps) 0. rows
+          List.fold_left (fun m (_, _, _, eps) -> Float.max m eps) 0. rows
         in
         List.iteri
-          (fun i (git, jobs, wall, _events, eps) ->
+          (fun i (git, wall, _events, eps) ->
             let w =
               if max_eps <= 0. then 0
               else int_of_float (Float.round (eps /. max_eps *. float_of_int bar_width))
             in
-            Printf.bprintf buf "%3d  %-24s j%-2d %12.1f ev/s |%-*s| %10.3fs\n"
-              (i + 1) git jobs eps bar_width (String.make w '#') wall)
+            Printf.bprintf buf "%3d  %-24s %12.1f ev/s |%-*s| %10.3fs\n"
+              (i + 1) git eps bar_width (String.make w '#') wall)
           rows;
         Buffer.add_char buf '\n'
       end)

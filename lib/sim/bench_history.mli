@@ -40,17 +40,21 @@ val check :
   Bench_json.summary ->
   (string * bool, string) result
 (** [check history current] compares [current] against the {e mean} of
-    the last [window] history entries using the [Bench_json] gate;
-    returns the rendered report and whether anything regressed.
-    [Error] on an empty history or [window < 1]. *)
+    the last [window] history entries {e recorded at [current]'s job
+    count} using the [Bench_json] gate — a parallel run never pollutes
+    the jobs-1 drift baseline; returns the rendered report and whether
+    anything regressed.  [Error] on an empty history, [window < 1], or
+    no history entry at [current]'s job count. *)
 
 val to_csv : entry list -> string
 (** [experiment,run,git,jobs,wall_s,events,events_per_sec] rows —
     the "total" series first, then each experiment in first-seen
-    order. *)
+    order, each split into one series per job count. *)
 
 val plot : ?experiment:string -> entry list -> string
-(** ASCII trajectory per series: one line per run with the commit
-    stamp, events/sec (bar scaled to the series maximum) and
-    wall-clock.  [?experiment] restricts to one series ("total" or an
-    experiment name). *)
+(** ASCII trajectory per series — one series per (experiment, job
+    count) pair, headed ["== NAME (jobs J, N runs) =="]: one line per
+    run with the commit stamp, events/sec (bar scaled to the series
+    maximum) and wall-clock.  [?experiment] restricts to one
+    experiment's series ("total" or an experiment name), at every job
+    count it was recorded at. *)

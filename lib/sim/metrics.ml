@@ -247,6 +247,20 @@ let reset_registry () =
   reg.snaps <- Queue.create ();
   reg.snap_dropped <- 0
 
+(* Flush-at-shard-boundary read: [read ()] then an in-place clear that
+   keeps the hashtable and queue allocated for the next shard on this
+   domain — the sharded runner's counterpart to [Trace.drain]. *)
+let drain () =
+  if not (on ()) then empty_telemetry
+  else begin
+    let reg = Domain.DLS.get reg_key in
+    let tel = telemetry_of_reg reg in
+    Hashtbl.reset reg.tbl;
+    Queue.clear reg.snaps;
+    reg.snap_dropped <- 0;
+    tel
+  end
+
 let capture f =
   if not (on ()) then (f (), empty_telemetry)
   else begin
@@ -295,6 +309,33 @@ let inject tel =
     List.iter (fun s -> push_snapshot reg s) tel.snapshots;
     reg.snap_dropped <- reg.snap_dropped + tel.snap_dropped
   end
+
+(* Pure two-sided merge with [inject]'s semantics (counters add, gauges
+   last-writer-wins with [b] the later writer, histograms merge
+   bucket-wise, snapshots append) but no registry and no retention
+   eviction: both sides already enforced the bound when they recorded.
+   Associative, so shard telemetry folds in shard order to the same
+   value whatever the worker schedule was. *)
+let merge_telemetry a b =
+  let merge_assoc combine xs ys =
+    let rec go acc xs ys =
+      match (xs, ys) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | (kx, vx) :: xs', (ky, vy) :: ys' ->
+          let c = String.compare kx ky in
+          if c < 0 then go ((kx, vx) :: acc) xs' ys
+          else if c > 0 then go ((ky, vy) :: acc) xs ys'
+          else go ((kx, combine vx vy) :: acc) xs' ys'
+    in
+    go [] xs ys
+  in
+  {
+    snapshots = a.snapshots @ b.snapshots;
+    snap_dropped = a.snap_dropped + b.snap_dropped;
+    counters = merge_assoc (fun x y -> x +. y) a.counters b.counters;
+    gauges = merge_assoc (fun _ y -> y) a.gauges b.gauges;
+    hists = merge_assoc Histogram.merge a.hists b.hists;
+  }
 
 (* ---------------- Export ---------------- *)
 

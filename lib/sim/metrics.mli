@@ -125,6 +125,12 @@ val read : unit -> telemetry
 val reset_registry : unit -> unit
 (** Discard the current domain's metrics, snapshots and drop count. *)
 
+val drain : unit -> telemetry
+(** {!read} followed by an in-place clear that keeps the containers
+    allocated — the per-shard flush [Xc_sim.Parallel.run_sharded]
+    issues at shard boundaries, mirroring [Trace.drain].
+    {!empty_telemetry} when disabled. *)
+
 val capture : (unit -> 'a) -> 'a * telemetry
 (** [capture f] runs [f] with a fresh registry on this domain and
     returns [(result, telemetry)]; the state live before the call is
@@ -139,6 +145,14 @@ val inject : telemetry -> unit
     bound.  [Parallel.run] injects worker captures in submission order,
     so the merged registry is identical at any job count.  No-op when
     disabled. *)
+
+val merge_telemetry : telemetry -> telemetry -> telemetry
+(** Pure merge with {!inject}'s semantics — counters add, gauges
+    last-writer-wins (the second argument being the later writer),
+    histograms merge bucket-wise, snapshots and drop counts append —
+    but registry-free and without retention eviction (both sides
+    enforced the bound when recording).  Associative: folding shard
+    telemetry in shard order is deterministic at any worker count. *)
 
 (** {2 Export} *)
 

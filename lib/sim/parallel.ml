@@ -1,9 +1,16 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
 let jobs_of_string s =
   let s = String.trim s in
   match int_of_string_opt s with
+  | Some 0 -> Ok (recommended_jobs ())
   | Some n when n >= 1 -> Ok n
-  | Some n -> Error (Printf.sprintf "jobs must be a positive integer, got %d" n)
-  | None -> Error (Printf.sprintf "jobs must be a positive integer, got %S" s)
+  | Some n ->
+      Error
+        (Printf.sprintf "jobs must be a positive integer (or 0 for auto), got %d" n)
+  | None ->
+      Error
+        (Printf.sprintf "jobs must be a positive integer (or 0 for auto), got %S" s)
 
 let jobs_from_env () =
   match Sys.getenv_opt "XC_JOBS" with
@@ -15,80 +22,306 @@ let jobs_from_env () =
 
 let default_jobs () = match jobs_from_env () with Ok n -> n | Error _ -> 1
 
-let recommended_jobs () = Domain.recommended_domain_count ()
+(* ---------------- Work-stealing deque ---------------- *)
+
+(* A growable ring guarded by a mutex.  The owner pushes at the back
+   and pops from the front (FIFO relative to push, so a worker walks
+   its initial share in global index order); a thief steals from the
+   back, peeling off the work the owner would reach last.  Shards are
+   coarse (a whole sub-simulation each), so a mutex per operation is
+   noise — the point of the deque is that claiming work touches one
+   deque, not one global atomic every worker hammers. *)
+module Deque = struct
+  type 'a t = {
+    mutable buf : 'a option array;
+    mutable head : int;  (* index of the front element *)
+    mutable len : int;
+    lock : Mutex.t;
+  }
+
+  let create () =
+    { buf = Array.make 16 None; head = 0; len = 0; lock = Mutex.create () }
+
+  let locked d f =
+    Mutex.lock d.lock;
+    match f () with
+    | v ->
+        Mutex.unlock d.lock;
+        v
+    | exception e ->
+        Mutex.unlock d.lock;
+        raise e
+
+  let slot d i =
+    let cap = Array.length d.buf in
+    let j = d.head + i in
+    if j >= cap then j - cap else j
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf = Array.make (2 * cap) None in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.(slot d i)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push d x =
+    locked d (fun () ->
+        if d.len = Array.length d.buf then grow d;
+        d.buf.(slot d d.len) <- Some x;
+        d.len <- d.len + 1)
+
+  let pop d =
+    locked d (fun () ->
+        if d.len = 0 then None
+        else begin
+          let i = d.head in
+          let x = d.buf.(i) in
+          d.buf.(i) <- None;
+          d.head <- (if i + 1 >= Array.length d.buf then 0 else i + 1);
+          d.len <- d.len - 1;
+          x
+        end)
+
+  let steal d =
+    locked d (fun () ->
+        if d.len = 0 then None
+        else begin
+          let i = slot d (d.len - 1) in
+          let x = d.buf.(i) in
+          d.buf.(i) <- None;
+          d.len <- d.len - 1;
+          x
+        end)
+
+  let length d = locked d (fun () -> d.len)
+end
+
+(* ---------------- Shards ---------------- *)
+
+module Shard = struct
+  (* The inner shard type is existential: a task may compute its
+     sub-results in any type as long as it says how an index-ordered
+     array of them merges into the task's result. *)
+  type 'a t =
+    | Shard : { shards : (unit -> 'b) array; merge : 'b array -> 'a } -> 'a t
+
+  let thunk f = Shard { shards = [| f |]; merge = (fun a -> a.(0)) }
+  let make ~shards ~merge = Shard { shards; merge }
+
+  let reduce ~combine shards =
+    make ~shards ~merge:(fun arr ->
+        let n = Array.length arr in
+        if n = 0 then invalid_arg "Parallel.Shard.reduce: no shards";
+        let acc = ref arr.(0) in
+        for i = 1 to n - 1 do
+          acc := combine !acc arr.(i)
+        done;
+        !acc)
+
+  let count (Shard { shards; _ }) = Array.length shards
+end
 
 type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
 
-let run_plain ~jobs thunks =
-  let n = List.length thunks in
-  if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
-  else begin
-    let thunks = Array.of_list thunks in
-    (* Each slot is written by exactly one worker (indices are claimed
-       from the atomic counter), and [Domain.join] publishes the writes
-       before the merge reads them. *)
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let r =
-          try Done (thunks.(i) ())
-          with e -> Raised (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some r;
-        worker ()
-      end
-    in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain is the pool's first worker. *)
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.to_list results
-    |> List.map (function
-         | Some (Done v) -> v
-         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
-  end
+(* xorshift64*: victim selection for stealing.  Seedable so tests can
+   drive the thief through different orders; never part of any result
+   (slots are indexed, merges run in shard order), so the stream only
+   shapes the schedule. *)
+let rng_make seed =
+  let s = ref (Int64.of_int ((seed * 2654435761) + 0x9E3779B9)) in
+  if !s = 0L then s := 88172645463325252L;
+  fun () ->
+    let x = !s in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    s := x;
+    (* Mask to OCaml's positive int range: Int64.to_int keeps the low
+       63 bits, so a set bit 62 would otherwise come out negative and
+       poison the [mod workers] victim index. *)
+    Int64.to_int (Int64.shift_right_logical x 1) land max_int
 
-let run ?jobs thunks =
+let run_sharded (type a) ?jobs ?(steal_seed = 0) ?(oversubscribe = false)
+    (tasks : a Shard.t list) : a list =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if not (Xc_trace.Trace.enabled () || Metrics.on ()) then run_plain ~jobs thunks
+  let instrumented = Xc_trace.Trace.enabled () || Metrics.on () in
+  let total = List.fold_left (fun n t -> n + Shard.count t) 0 tasks in
+  (* Spawning more domains than the host can run concurrently is a
+     pessimization (every minor GC synchronises all domains), so the
+     pool never exceeds the host's recommended parallelism unless a
+     test explicitly asks to oversubscribe. *)
+  let workers =
+    let requested = min jobs total in
+    if oversubscribe then requested else min requested (recommended_jobs ())
+  in
+  if workers <= 1 && not instrumented then
+    (* The sequential untraced path is the benched hot path: run the
+       shards directly, exactly like nested List.map / Array.map —
+       exceptions propagate immediately, later shards never run. *)
+    List.map
+      (fun (Shard.Shard { shards; merge }) -> merge (Array.map (fun f -> f ()) shards))
+      tasks
   else begin
-    (* Trace events and telemetry recorded on a worker domain would die
-       with the domain, and which worker runs which thunk is racy.  So
-       each thunk records into its own fresh capture (even at jobs=1,
-       so the artifact is identical at any job count) and the calling
-       domain replays the captures in submission order afterwards.
-       Whichever of the two recorders is disabled captures and injects
-       nothing, at no cost.
-
-       Exceptions are caught inside the wrapper rather than left to
-       [run_plain]'s merge: the merge re-raises before any capture
-       could be injected, which would throw away the trace of every
-       thunk that did complete.  A failing sweep must still yield the
-       partial trace — that trace is how the failure gets debugged. *)
-    let wrapped =
+    (* One result slot per shard, one runner closure per shard.  Each
+       runner drains the domain recorders at its shard boundary, so
+       capture state accumulates per worker batch step, not per event
+       and not per save/restore pair. *)
+    let module M = struct
+      type packed =
+        | Task : {
+            slots :
+              ('b * Xc_trace.Trace.captured * Metrics.telemetry) outcome option
+              array;
+            merge : 'b array -> a;
+          }
+            -> packed
+    end in
+    let run_shard f store =
+      match f () with
+      | v ->
+          let tr =
+            if instrumented then Xc_trace.Trace.drain ()
+            else Xc_trace.Trace.empty_captured
+          in
+          let tel =
+            if instrumented then Metrics.drain () else Metrics.empty_telemetry
+          in
+          store (Done (v, tr, tel))
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (* The raising shard's partial events die with it, exactly as
+             a per-thunk capture would have discarded them. *)
+          if instrumented then begin
+            ignore (Xc_trace.Trace.drain ());
+            ignore (Metrics.drain ())
+          end;
+          store (Raised (e, bt))
+    in
+    let work = Array.make total (fun () -> ()) in
+    let packed =
+      let next = ref 0 in
       List.map
-        (fun f () ->
-          try Done (Metrics.capture (fun () -> Xc_trace.Trace.capture f))
-          with e -> Raised (e, Printexc.get_raw_backtrace ()))
-        thunks
+        (fun (Shard.Shard { shards; merge }) ->
+          let n = Array.length shards in
+          let slots = Array.make n None in
+          Array.iteri
+            (fun i f ->
+              work.(!next) <- (fun () -> run_shard f (fun r -> slots.(i) <- Some r));
+              incr next)
+            shards;
+          M.Task { slots; merge })
+        tasks
     in
-    let results = run_plain ~jobs wrapped in
-    List.iter
+    (if workers <= 1 then begin
+       (* Sequential but instrumented: same store-and-continue semantics
+          as the pool (every shard runs; captures of completed shards
+          survive a failure), shielded so the caller's live recorder
+          state is untouched while shards drain. *)
+       let seq () = Array.iter (fun f -> f ()) work in
+       let ((), c), t =
+         Metrics.capture (fun () -> Xc_trace.Trace.capture seq)
+       in
+       ignore (c : Xc_trace.Trace.captured);
+       ignore (t : Metrics.telemetry)
+     end
+     else begin
+       let deques = Array.init workers (fun _ -> Deque.create ()) in
+       (* Round-robin distribution: shard i starts on worker i mod W, so
+          one big task's shards spread across the pool up front and
+          stealing only handles the imbalance that develops. *)
+       Array.iteri (fun i _ -> Deque.push deques.(i mod workers) i) work;
+       let worker w () =
+         let rand = rng_make (steal_seed + (w * 7919)) in
+         let steal () =
+           (* Random first victim, then one full scan: if the scan sees
+              every other deque empty, all remaining work is already
+              held by the domain that will run it — safe to retire. *)
+           let start = rand () mod workers in
+           let rec scan k =
+             if k = workers then None
+             else
+               let v = (start + k) mod workers in
+               if v = w then scan (k + 1)
+               else
+                 match Deque.steal deques.(v) with
+                 | Some i -> Some i
+                 | None -> scan (k + 1)
+           in
+           scan 0
+         in
+         let rec loop () =
+           match Deque.pop deques.(w) with
+           | Some i ->
+               work.(i) ();
+               loop ()
+           | None -> (
+               match steal () with
+               | Some i ->
+                   work.(i) ();
+                   loop ()
+               | None -> ())
+         in
+         loop ()
+       in
+       let spawned =
+         Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+       in
+       (if instrumented then begin
+          (* The calling domain works the pool too; its recorder may hold
+             live pre-pool state (e.g. an enclosing capture), so its
+             participation runs shielded — every shard drains, so the
+             shield comes back empty. *)
+          let ((), c), t =
+            Metrics.capture (fun () -> Xc_trace.Trace.capture (worker 0))
+          in
+          ignore (c : Xc_trace.Trace.captured);
+          ignore (t : Metrics.telemetry)
+        end
+        else worker 0 ());
+       Array.iter Domain.join spawned
+     end);
+    (* Merge phase, calling domain, deterministic: walk tasks in
+       submission order and shards in index order — inject every
+       completed shard's capture, then either merge the task or record
+       its lowest-indexed failure.  The first failed task's exception
+       re-raises only after all captures landed, so a failing sweep
+       still yields the partial trace that explains it. *)
+    let outcomes =
+      List.map
+        (fun (M.Task { slots; merge }) ->
+          let n = Array.length slots in
+          let values = Array.make n None in
+          let failure = ref None in
+          for i = 0 to n - 1 do
+            match slots.(i) with
+            | Some (Done (v, tr, tel)) ->
+                Xc_trace.Trace.inject tr;
+                Metrics.inject tel;
+                values.(i) <- Some v
+            | Some (Raised (e, bt)) ->
+                if !failure = None then failure := Some (e, bt)
+            | None -> assert false
+          done;
+          match !failure with
+          | Some (e, bt) -> Raised (e, bt)
+          | None ->
+              Done
+                (merge
+                   (Array.map
+                      (function Some v -> v | None -> assert false)
+                      values)))
+        packed
+    in
+    List.map
       (function
-        | Done ((_, captured), telemetry) ->
-            Xc_trace.Trace.inject captured;
-            Metrics.inject telemetry
-        | Raised _ -> ())
-      results;
-    let rec values = function
-      | [] -> []
-      | Done ((v, _), _) :: rest -> v :: values rest
-      | Raised (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
-    in
-    values results
+        | Done v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)
+      outcomes
   end
+
+let run ?jobs ?oversubscribe thunks =
+  run_sharded ?jobs ?oversubscribe (List.map Shard.thunk thunks)
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

@@ -1,26 +1,44 @@
-(** Deterministic fan-out of independent jobs over OCaml 5 domains.
+(** Deterministic fan-out of independent work over OCaml 5 domains.
 
-    Every experiment the benchmark harness regenerates (Table 1, the
-    figures, the scalability sweeps) is an independent deterministic
-    simulation, so the natural unit of host parallelism is the whole
-    experiment: a [unit -> 'a] thunk.  [run] fans a list of such thunks
-    out across a fixed-size pool of worker domains and merges the
-    results back {e in submission order}, so a parallel run is
-    indistinguishable from a sequential one apart from wall-clock time.
+    Two granularities:
 
-    Jobs must be independent: they may not share mutable state (each
+    + {b Whole experiments} ({!run}): a list of [unit -> 'a] thunks,
+      results merged back in submission order — the original runner,
+      now a special case of the sharded one.
+    + {b Shards} ({!Shard}, {!run_sharded}): an experiment declares
+      independent sub-units (each [(platform × app)] cell of a sweep,
+      each config of a cluster sweep) plus an associative merge over
+      the index-ordered shard results.  The pool schedules shards over
+      per-worker deques with work stealing, so one long experiment no
+      longer serializes the whole bench behind a single worker.
+
+    Determinism at every job count is structural, not scheduled: each
+    shard writes an indexed result slot, captures of trace/telemetry
+    drain at shard boundaries, and the merge phase walks tasks in
+    submission order and shards in index order on the calling domain.
+    The steal schedule can only change {e when} a shard runs, never
+    what anything computes or the order anything merges.
+
+    Shards must be independent: they may not share mutable state (each
     experiment builds its own engine, PRNG and platform, so the
-    simulator's modules satisfy this by construction). *)
+    simulator's modules satisfy this by construction).
+
+    The pool caps its worker domains at {!recommended_jobs} — spawning
+    more domains than cores makes every minor GC a cross-domain rendezvous
+    and was measured 35% {e slower} on a single-core host.  [~oversubscribe]
+    lifts the cap for scheduler tests that must exercise real domains
+    regardless of the host. *)
 
 val jobs_of_string : string -> (int, string) result
-(** Parse a worker-domain count: a positive integer.  [0], negatives
+(** Parse a worker-domain count: a positive integer, or [0] meaning
+    "auto" — resolved to {!recommended_jobs} immediately.  Negatives
     and non-numeric input return [Error] with a one-line message —
     CLIs print it and exit nonzero. *)
 
 val jobs_from_env : unit -> (int, string) result
-(** [XC_JOBS] via {!jobs_of_string}; [Ok 1] when unset.  Entry points
-    should call this and fail loudly on [Error] rather than silently
-    falling back. *)
+(** [XC_JOBS] via {!jobs_of_string} (so [XC_JOBS=0] is auto too);
+    [Ok 1] when unset.  Entry points should call this and fail loudly
+    on [Error] rather than silently falling back. *)
 
 val default_jobs : unit -> int
 (** {!jobs_from_env} with [Error] collapsed to [1] — for library
@@ -30,35 +48,87 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: what the host can usefully
     run in parallel. *)
 
-val run : ?jobs:int -> (unit -> 'a) list -> 'a list
-(** [run ~jobs thunks] evaluates every thunk and returns the results in
-    the order the thunks were given.
+(** Work-stealing deque: owner pushes at the back and pops from the
+    front (FIFO relative to push), a thief steals from the back.
+    Exposed for the scheduler's unit tests. *)
+module Deque : sig
+  type 'a t
 
-    With [jobs <= 1] (the default is {!default_jobs}, normally [1])
-    everything runs in the calling domain, in list order, with no
-    domain spawned — seed-for-seed identical to a plain [List.map].
-    With [jobs > 1], [min jobs (length thunks) - 1] worker domains are
-    spawned and the calling domain works alongside them; thunks are
-    claimed from a shared counter, so submission order is the
-    steady-state completion order but never the result order, which is
-    always submission order.
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  (** Owner end: front, FIFO relative to {!push}. *)
 
-    If a thunk raises, the exception of the {e lowest-indexed} failed
-    thunk is re-raised (with its backtrace) after all workers have
-    drained, so the failure is deterministic too.
+  val steal : 'a t -> 'a option
+  (** Thief end: back — the work the owner would reach last. *)
 
-    When [Xc_trace.Trace.enabled] or [Metrics.on], each thunk records
-    trace events and telemetry (metrics + sim-clock snapshots) into
-    its own capture and the calling domain replays the captures in
-    submission order after the pool drains — at {e every} job count,
-    including 1 — so the trace and telemetry artifacts of a parallel
-    run are byte-identical to a sequential one.  (Each thunk's synthetic
-    cursor therefore restarts at 0.)  On failure the captures of all
-    {e completed} thunks are still injected, in submission order,
-    before the lowest-indexed exception propagates: a failing sweep
-    yields the partial trace that explains it.  Consequently the
-    traced path runs every thunk even at [jobs = 1], matching the
-    [jobs > 1] behaviour. *)
+  val length : 'a t -> int
+end
+
+(** A task as the pool sees it: an array of independent shard thunks
+    plus a merge over their index-ordered results. *)
+module Shard : sig
+  type 'a t
+
+  val thunk : (unit -> 'a) -> 'a t
+  (** One unsplittable unit of work — how {!run} wraps its thunks. *)
+
+  val make : shards:(unit -> 'b) array -> merge:('b array -> 'a) -> 'a t
+  (** [make ~shards ~merge]: [merge] receives the shard results in
+      shard-index order, whatever workers ran them, and runs on the
+      calling domain during the merge phase. *)
+
+  val reduce : combine:('a -> 'a -> 'a) -> (unit -> 'a) array -> 'a t
+  (** [make] with a left fold of [combine] over the index-ordered
+      results ([combine] should be associative for the declaration to
+      make sense; the fold order is fixed regardless).  Raises
+      [Invalid_argument] on an empty shard array at merge time. *)
+
+  val count : 'a t -> int
+end
+
+val run_sharded :
+  ?jobs:int -> ?steal_seed:int -> ?oversubscribe:bool -> 'a Shard.t list -> 'a list
+(** Run every shard of every task and return one merged result per
+    task, in submission order.
+
+    [jobs] (default {!default_jobs}) bounds the worker pool; the pool
+    also never exceeds the shard count or — unless [oversubscribe]
+    (default false) — {!recommended_jobs}.  When the pool resolves to
+    a single worker and no recorder is live, shards run in the calling
+    domain in (task, shard) order with zero scheduling overhead and
+    [List.map] exception semantics (a raise propagates immediately).
+
+    With more than one worker, shards are dealt round-robin onto
+    per-worker deques; a worker pops its own deque from the front and,
+    when empty, steals from the back of a random victim's
+    ([steal_seed], default 0, drives the victim choice — results never
+    depend on it).  Each shard's outcome lands in its own slot, so the
+    merge phase is scheduling-independent.
+
+    If a shard raises, the pool keeps running (no cancellation); at
+    merge time the exception of the lowest-indexed failed shard of the
+    {e first} failed task re-raises, after the captures of every
+    completed shard were injected.
+
+    When [Xc_trace.Trace.enabled] or [Metrics.on], every shard's
+    events/telemetry drain from the domain recorders at its shard
+    boundary ([Trace.drain] / [Metrics.drain] — no per-shard
+    save/restore; the ring and registry containers are reused across a
+    worker's batch) and the calling domain injects the drained
+    captures in (task, shard) order during the merge phase — at
+    {e every} job count, including 1 — so trace and telemetry
+    artifacts are byte-identical whatever [jobs] or [steal_seed] say.
+    Each shard's synthetic cursor therefore restarts at 0; a sharded
+    experiment that wants one monotone per-experiment timeline merges
+    its shard captures with [Trace.concat].  The instrumented path
+    runs every shard even at one worker, matching the pool. *)
+
+val run : ?jobs:int -> ?oversubscribe:bool -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] = [run_sharded ~jobs (List.map Shard.thunk thunks)]:
+    every thunk is one shard, results in submission order, the
+    exception of the lowest-indexed failed thunk re-raised after all
+    captures landed.  See {!run_sharded} for the capture contract. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)

@@ -211,9 +211,14 @@ let take () =
   Hashtbl.reset r.streams;
   out
 
-type captured = { events : event list; dropped : int; streams : Stream.t list }
+type captured = {
+  events : event list;
+  dropped : int;
+  streams : Stream.t list;
+  cursor : float;
+}
 
-let empty_captured = { events = []; dropped = 0; streams = [] }
+let empty_captured = { events = []; dropped = 0; streams = []; cursor = 0. }
 
 let inject c =
   if enabled () then begin
@@ -263,11 +268,71 @@ let capture f =
         let r = recorder () in
         let streams = streams_of_table r.streams in
         let dropped = r.dropped in
+        let cursor = r.cursor in
         let events = take () in
         restore ();
-        (v, { events; dropped; streams })
+        (v, { events; dropped; streams; cursor })
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         restore ();
         Printexc.raise_with_backtrace e bt
   end
+
+(* Flush-at-shard-boundary read: same value [capture] would return, but
+   against the recorder state as it stands — no save/restore, no fresh
+   hashtable, and the ring array survives [take] so a worker draining
+   one shard after another reuses its buffer.  This is the off-hot-path
+   half of the sharded runner: shards record straight into the domain
+   recorder and the only per-shard cost is materialising the drain. *)
+let drain () =
+  if not (enabled ()) then empty_captured
+  else begin
+    let r = recorder () in
+    let streams = streams_of_table r.streams in
+    let dropped = r.dropped in
+    let cursor = r.cursor in
+    let events = take () in
+    { events; dropped; streams; cursor }
+  end
+
+(* Deterministic shard-order merge: segment k's timestamps shift by the
+   sum of the synthetic cursors of segments 0..k-1, so analytic spans
+   (cursor-placed) form the same monotone timeline one recorder running
+   the shards back-to-back would have produced.  Engine-timestamped
+   events shift with their segment, which keeps shards from
+   interleaving; within a segment every relationship is preserved. *)
+let concat segments =
+  let shift dt c =
+    if dt = 0. then c.events
+    else
+      List.map (fun ev -> { ev with ts = ev.ts +. dt }) c.events
+  in
+  let merge_streams acc (c : captured) =
+    List.fold_left
+      (fun acc (s : Stream.t) ->
+        let k = (s.Stream.cat, s.Stream.name) in
+        match List.assoc_opt k acc with
+        | Some (st : Stream.t) ->
+            (k, { st with Stream.seen = st.seen + s.seen; kept = st.kept + s.kept })
+            :: List.remove_assoc k acc
+        | None -> (k, s) :: acc)
+      acc c.streams
+  in
+  let rec go offset ev_acc dropped streams = function
+    | [] ->
+        {
+          events = List.concat (List.rev ev_acc);
+          dropped;
+          streams =
+            List.map snd streams
+            |> List.sort (fun (a : Stream.t) (b : Stream.t) ->
+                   compare (a.cat, a.name) (b.cat, b.name));
+          cursor = offset;
+        }
+    | c :: rest ->
+        go (offset +. c.cursor)
+          (shift offset c :: ev_acc)
+          (dropped + c.dropped)
+          (merge_streams streams c) rest
+  in
+  go 0. [] 0 [] segments

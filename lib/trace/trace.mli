@@ -147,6 +147,7 @@ type captured = {
   events : event list;  (** in record order *)
   dropped : int;  (** ring overwrites during the capture *)
   streams : Stream.t list;  (** sampler accounting, sorted by (cat,name) *)
+  cursor : float;  (** final synthetic cursor — the capture's span-sum *)
 }
 
 val empty_captured : captured
@@ -157,6 +158,24 @@ val capture : (unit -> 'a) -> 'a * captured
     the call is restored afterwards (also on exceptions, in which case
     the inner events are discarded with the exception re-raised).
     When disabled: [(f (), empty_captured)]. *)
+
+val drain : unit -> captured
+(** Read-and-reset the current domain's recorder: the same value
+    {!capture} would have returned had it been running since the last
+    drain, but with no save/restore and with the ring buffer kept
+    allocated for the next shard.  This is the flush a sharded worker
+    issues at each shard boundary ([Xc_sim.Parallel.run_sharded]) —
+    capture cost off the hot path, one drain per shard batch step.
+    {!empty_captured} when disabled. *)
+
+val concat : captured list -> captured
+(** Merge shard captures in list order into one capture: segment [k]'s
+    timestamps are shifted by the cumulative [cursor] of segments
+    [0..k-1] (so cursor-placed analytic spans form the monotone
+    timeline a single recorder would have produced), dropped counts
+    add, stream accounting merges, and the result's [cursor] is the
+    cursor sum — so [concat] is associative and deterministic in the
+    segment order, never in worker scheduling. *)
 
 val inject : captured -> unit
 (** Append previously captured events verbatim to the current domain's

@@ -129,15 +129,45 @@ let test_csv_and_plot () =
     go 0
   in
   Alcotest.(check bool) "total series present" true
-    (has "== total (2 runs) ==" plot);
+    (has "== total (jobs 2, 2 runs) ==" plot);
   Alcotest.(check bool) "per-experiment series present" true
-    (has "== fig3 (2 runs) ==" plot);
+    (has "== fig3 (jobs 2, 2 runs) ==" plot);
   Alcotest.(check bool) "commit stamps present" true (has "run2" plot);
   let only = BH.plot ~experiment:"table1" entries in
   Alcotest.(check bool) "restricted plot drops total" false
     (has "== total" only);
   Alcotest.(check bool) "restricted plot keeps table1" true
-    (has "== table1 (2 runs) ==" only)
+    (has "== table1 (jobs 2, 2 runs) ==" only);
+  (* Mixed job counts split into one series per (experiment, jobs): a
+     jobs-1 run charts next to, never into, the jobs-2 series. *)
+  let mixed = entries @ [ entry ~git:"run3" ~jobs:1 ~eps:90_000. () ] in
+  let mplot = BH.plot mixed in
+  Alcotest.(check bool) "jobs-2 series unchanged" true
+    (has "== total (jobs 2, 2 runs) ==" mplot);
+  Alcotest.(check bool) "jobs-1 series separate" true
+    (has "== total (jobs 1, 1 run) ==" mplot)
+
+let test_check_filters_by_jobs () =
+  (* Drift gate vs a mixed history: only same-jobs entries form the
+     baseline.  Three fast jobs-2 runs plus one slow jobs-1 run — a
+     jobs-1 current matching the slow run must pass (the fast jobs-2
+     entries are not its baseline), and a jobs-3 current errors. *)
+  let entries =
+    [
+      entry ~eps:300_000. ();
+      entry ~eps:300_000. ();
+      entry ~eps:300_000. ();
+      entry ~jobs:1 ~eps:100_000. ();
+    ]
+  in
+  (match BH.check ~window:3 entries (summary ~jobs:1 ~eps:100_000. ()) with
+  | Error m -> Alcotest.failf "jobs-1 check failed: %s" m
+  | Ok (_, regressed) ->
+      Alcotest.(check bool) "slow jobs-1 run passes vs jobs-1 baseline" false
+        regressed);
+  match BH.check ~window:3 entries (summary ~jobs:3 ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no jobs-3 history must be an error"
 
 let test_append_creates_and_appends () =
   let dir = Filename.temp_file "histdir" "" in
@@ -180,6 +210,8 @@ let suites =
         Alcotest.test_case "check against trailing-window mean" `Quick
           test_check_window_mean;
         Alcotest.test_case "csv and ascii trajectory" `Quick test_csv_and_plot;
+        Alcotest.test_case "check splits baseline by jobs" `Quick
+          test_check_filters_by_jobs;
         Alcotest.test_case "append creates then extends" `Quick
           test_append_creates_and_appends;
       ] );

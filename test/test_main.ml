@@ -12,5 +12,6 @@ let () =
    @ Test_channel.suites
    @ Test_fuzz.suites @ Test_apps_extra.suites @ Test_apps_eleven.suites
    @ Test_substrate_extra.suites @ Test_inventory.suites @ Test_shapes.suites
-   @ Test_parallel.suites @ Test_trace.suites @ Test_bench_check.suites
+   @ Test_parallel.suites @ Test_sharding.suites @ Test_trace.suites
+   @ Test_bench_check.suites
    @ Test_tails.suites @ Test_metrics.suites @ Test_bench_history.suites)

@@ -84,7 +84,12 @@ let test_jobs_of_string () =
       | Ok n -> Alcotest.failf "%S: expected 4, got %d" s n
       | Error e -> Alcotest.fail e)
     [ "4"; " 4"; "4 " ];
-  (* ... but zero, negatives and non-numbers are hard errors. *)
+  (* ... zero means "auto-detect" ... *)
+  (match Parallel.jobs_of_string "0" with
+  | Ok n ->
+      Alcotest.(check int) "0 is auto" (Parallel.recommended_jobs ()) n
+  | Error e -> Alcotest.fail e);
+  (* ... but negatives and non-numbers are hard errors. *)
   List.iter
     (fun s ->
       match Parallel.jobs_of_string s with
@@ -94,7 +99,7 @@ let test_jobs_of_string () =
             true
             (String.length msg > 0)
       | Ok n -> Alcotest.failf "%S accepted as %d jobs" s n)
-    [ "0"; "-3"; ""; "banana"; "2.5"; "1e2" ]
+    [ "-3"; ""; "banana"; "2.5"; "1e2" ]
 
 let test_jobs_from_env () =
   (* The mutating cases (XC_JOBS=bogus etc.) are exercised end-to-end by
