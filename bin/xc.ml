@@ -1187,13 +1187,21 @@ let top_cmd =
                   CSV when FILE ends in .csv (byte-identical across \
                   --jobs).")
   in
+  let rate =
+    Arg.(value & opt ~vopt:(Some 1) (some int) None
+        & info [ "rate" ] ~docv:"W"
+            ~doc:"Derivative view: show each counter as a per-second rate \
+                  over its last W snapshot intervals (bare --rate means \
+                  W=1) instead of the cumulative total.  Gauges and \
+                  distributions are unchanged.")
+  in
   let jobs =
     Arg.(value & opt (some int) None
         & info [ "jobs"; "j" ]
             ~doc:"Worker domains for the cluster workload (default \
                   \\$XC_JOBS or 1); snapshots are identical at any value.")
   in
-  let run exp runtime cloud interval_us rows timeseries jobs =
+  let run exp runtime cloud interval_us rows timeseries rate jobs =
     let module M = Xc_sim.Metrics in
     if (not (Float.is_finite interval_us)) || interval_us <= 0. then
       exit_err
@@ -1203,6 +1211,11 @@ let top_cmd =
     if rows < 1 then
       exit_err
         (Printf.sprintf "--snapshots expects a positive integer, got %d" rows);
+    (match rate with
+    | Some w when w < 1 ->
+        exit_err
+          (Printf.sprintf "--rate expects a positive number of intervals, got %d" w)
+    | _ -> ());
     let jobs = jobs_or_exit jobs in
     let exp = String.lowercase_ascii exp in
     let config = Xc_platforms.Config.make ~cloud runtime in
@@ -1268,8 +1281,30 @@ let top_cmd =
         spaced;
       let win = last_n 33 snaps in
       let latest = List.nth snaps (n - 1) in
-      Printf.printf "\n  %-30s %-8s %14s  per-interval (last %d)\n" "metric"
-        "kind" "last" (List.length win);
+      (* Derivative view: a counter's per-second rate over its last
+         [w] snapshot intervals, measured against the sim clock (the
+         actual [at] gap, not the nominal cadence — the last interval
+         can be short when the run ends mid-interval). *)
+      let counter_rate key =
+        match rate with
+        | None -> None
+        | Some w ->
+            let base = List.nth snaps (Stdlib.max 0 (n - 1 - w)) in
+            let value_at (s : M.snapshot) =
+              match List.assoc_opt key s.M.values with
+              | Some (M.Count x) -> x
+              | _ -> 0.
+            in
+            let dt_s = (latest.M.at -. base.M.at) /. 1e9 in
+            if dt_s <= 0. then Some 0.
+            else Some ((value_at latest -. value_at base) /. dt_s)
+      in
+      Printf.printf "\n  %-30s %-8s %14s  per-interval (last %d)%s\n" "metric"
+        "kind" "last" (List.length win)
+        (match rate with
+        | Some w ->
+            Printf.sprintf "  [counters: rate over last %d interval(s)]" w
+        | None -> "");
       List.iter
         (fun (key, sample) ->
           let extract v =
@@ -1303,10 +1338,11 @@ let top_cmd =
             | _ -> raw
           in
           let kind, lastv =
-            match sample with
-            | M.Count x -> ("counter", x)
-            | M.Level x -> ("gauge", x)
-            | M.Dist d -> ("p99-ns", d.M.p99)
+            match (sample, counter_rate key) with
+            | M.Count _, Some r -> ("rate/s", r)
+            | M.Count x, _ -> ("counter", x)
+            | (M.Level x, _) -> ("gauge", x)
+            | (M.Dist d, _) -> ("p99-ns", d.M.p99)
           in
           Printf.printf "  %-30s %-8s %14.1f  |%s|\n" key kind lastv
             (sparkline series))
@@ -1325,7 +1361,370 @@ let top_cmd =
              the registry like top(1): last snapshots, then every metric \
              with a per-interval sparkline.")
     Term.(const run $ exp_arg $ runtime $ cloud $ interval $ rows $ timeseries
-          $ jobs)
+          $ rate $ jobs)
+
+(* ---------------- xc lb ---------------- *)
+
+(* --policy spellings: the Policy kinds plus "subcluster", the
+   uniformly-random sub-cluster dispatch the Oracle solves exactly. *)
+let lb_policy_names =
+  "subcluster, "
+  ^ String.concat ", " (List.map Xc_lb.Policy.kind_to_string Xc_lb.Policy.all_kinds)
+
+let lb_dispatch_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "subcluster" | "sub-cluster" -> Xc_lb.Hedge.Subcluster
+  | other -> (
+      match Xc_lb.Policy.kind_of_string other with
+      | Ok k -> Xc_lb.Hedge.Policy k
+      | Error _ ->
+          exit_err
+            (Printf.sprintf "--policy expects one of %s, got %S" lb_policy_names
+               s))
+
+let lb_dispatch_name = function
+  | Xc_lb.Hedge.Subcluster -> "subcluster"
+  | Xc_lb.Hedge.Policy k -> Xc_lb.Policy.kind_to_string k
+
+let lb_parse_utilizations s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then
+    exit_err
+      (Printf.sprintf "--utilizations expects a comma list like 0.3,0.5,0.7, got %S" s);
+  List.map
+    (fun p ->
+      match float_of_string_opt p with
+      | Some u when u > 0. && u < 1. ->
+          u
+      | _ ->
+          exit_err
+            (Printf.sprintf
+               "--utilizations expects per-backend loads in (0, 1), got %S" p))
+    parts
+
+let lb_sweep_cmd =
+  let policy =
+    Arg.(value & opt string "subcluster"
+        & info [ "policy"; "p" ] ~docv:"POLICY"
+            ~doc:"Clone-set dispatch: subcluster (the Oracle-exact random \
+                  sub-cluster reference), round-robin, least-loaded, po2c \
+                  or jsq.")
+  in
+  let clones =
+    Arg.(value & opt int 1
+        & info [ "clones"; "d" ] ~docv:"D"
+            ~doc:"Clone factor: each request runs on D distinct backends \
+                  with synchronized service and cancel-on-first-complete \
+                  (1 = no hedging).")
+  in
+  let backends =
+    Arg.(value & opt int 6
+        & info [ "backends"; "n" ] ~docv:"N" ~doc:"PS backends in the cluster.")
+  in
+  let utilizations =
+    Arg.(value & opt string "0.3,0.5,0.7"
+        & info [ "utilizations"; "u" ] ~docv:"LIST"
+            ~doc:"Comma list of per-backend utilizations (clones included) \
+                  to sweep.")
+  in
+  let duration_ms =
+    Arg.(value & opt float 3000.
+        & info [ "duration" ] ~docv:"MS"
+            ~doc:"Measured arrival window in simulated milliseconds.")
+  in
+  let seed = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run policy clones backends utilizations duration_ms seed =
+    let dispatch = lb_dispatch_of_string policy in
+    if backends < 1 then
+      exit_err
+        (Printf.sprintf "--backends expects a positive integer, got %d" backends);
+    if clones < 1 || clones > backends then
+      exit_err
+        (Printf.sprintf
+           "--clones expects 1 <= D <= backends (%d), got %d" backends clones);
+    (match dispatch with
+    | Xc_lb.Hedge.Subcluster when backends mod clones <> 0 ->
+        exit_err
+          (Printf.sprintf
+             "subcluster dispatch needs --clones to divide --backends, got %d \
+              and %d"
+             clones backends)
+    | _ -> ());
+    if (not (Float.is_finite duration_ms)) || duration_ms <= 0. then
+      exit_err
+        (Printf.sprintf
+           "--duration expects a positive number of sim-milliseconds, got %g"
+           duration_ms);
+    let utils = lb_parse_utilizations utilizations in
+    let module T = Xc_sim.Table in
+    let t =
+      T.create
+        ~title:
+          (Printf.sprintf
+             "M/PS cloning sweep: %d backends, policy %s, d=%d (%gms window)"
+             backends (lb_dispatch_name dispatch) clones duration_ms)
+        [
+          ("util", T.Right);
+          ("completed", T.Right);
+          ("sim mean", T.Right);
+          ("oracle mean", T.Right);
+          ("delta", T.Right);
+          ("p99", T.Right);
+          ("hedge share", T.Right);
+        ]
+    in
+    List.iter
+      (fun u ->
+        let cfg =
+          Xc_lb.Hedge.config_for_utilization ~backends ~clones ~dispatch ~seed
+            ~duration_ns:(duration_ms *. 1e6) ~utilization:u ()
+        in
+        let r = Xc_lb.Hedge.run cfg in
+        (* The closed form needs the sub-cluster tiling; it is exact for
+           subcluster dispatch and a reference line for the policies. *)
+        let oracle =
+          if backends mod clones = 0 then
+            Some
+              (Xc_lb.Oracle.cloned_mean_ns ~backends ~clones
+                 ~arrival_rate_per_ns:cfg.Xc_lb.Hedge.arrival_rate_per_ns
+                 ~service_mean_ns:cfg.Xc_lb.Hedge.service_mean_ns)
+          else None
+        in
+        let hedge_share =
+          if r.Xc_lb.Hedge.busy_ns > 0. then
+            r.Xc_lb.Hedge.cancelled_work_ns /. r.Xc_lb.Hedge.busy_ns
+          else 0.
+        in
+        T.add_row t
+          [
+            Printf.sprintf "%.2f" u;
+            string_of_int r.Xc_lb.Hedge.completed;
+            Printf.sprintf "%.1fus" (r.Xc_lb.Hedge.mean_ns /. 1e3);
+            (match oracle with
+            | Some o -> Printf.sprintf "%.1fus" (o /. 1e3)
+            | None -> "-");
+            (match oracle with
+            | Some o ->
+                Printf.sprintf "%+.1f%%" ((r.Xc_lb.Hedge.mean_ns -. o) /. o *. 100.)
+            | None -> "-");
+            Printf.sprintf "%.1fus" (r.Xc_lb.Hedge.p99_ns /. 1e3);
+            Printf.sprintf "%.1f%%" (hedge_share *. 100.);
+          ])
+      utils;
+    T.print t;
+    if dispatch <> Xc_lb.Hedge.Subcluster then
+      print_string
+        "(oracle column is the random-subcluster closed form — exact only \
+         for --policy subcluster; the delta shows what the policy buys.)\n"
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep the PS cloning simulator over utilizations and compare \
+             against the analytic M/PS oracle.")
+    Term.(const run $ policy $ clones $ backends $ utilizations $ duration_ms
+          $ seed)
+
+let lb_tail_cmd =
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let containers =
+    Arg.(value & opt int 4
+        & info [ "containers" ] ~doc:"Containers in the cluster config.")
+  in
+  let connections =
+    Arg.(value & opt int 5
+        & info [ "connections" ]
+            ~doc:"Closed-loop connections per container; at the default 5 \
+                  the vCPU saturates and the queueing tail is what the \
+                  policies compete over.")
+  in
+  let policy =
+    Arg.(value & opt (some string) None
+        & info [ "policy"; "p" ] ~docv:"POLICY"
+            ~doc:"Run only this policy (round-robin, least-loaded, po2c, \
+                  jsq); default compares all four.")
+  in
+  let clones =
+    Arg.(value & opt (some int) None
+        & info [ "clones"; "d" ] ~docv:"D"
+            ~doc:"Run only this clone factor; default compares 1 and 2.")
+  in
+  let tail =
+    Arg.(value & opt string "p99"
+        & info [ "tail" ] ~docv:"PCT"
+            ~doc:"Tail percentile cut for the trace diff (e.g. p99, 99.9).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains per cluster sweep (default \\$XC_JOBS or \
+                  1); output is identical at any value.")
+  in
+  let run runtime cloud containers connections policy clones tailstr jobs =
+    let module Trace = Xc_trace.Trace in
+    let pct = parse_tail_pct tailstr in
+    let jobs = jobs_or_exit jobs in
+    if containers < 1 then exit_err "--containers must be positive";
+    if connections < 1 then exit_err "--connections must be positive";
+    let kinds =
+      match policy with
+      | None -> Xc_lb.Policy.all_kinds
+      | Some s -> (
+          match lb_dispatch_of_string s with
+          | Xc_lb.Hedge.Policy k -> [ k ]
+          | Xc_lb.Hedge.Subcluster ->
+              exit_err
+                "subcluster is the PS-oracle reference dispatch; the cluster \
+                 driver routes with a policy (round-robin, least-loaded, \
+                 po2c, jsq)")
+    in
+    let clone_grid =
+      match clones with
+      | None -> List.filter (fun d -> d <= containers) [ 1; 2 ]
+      | Some d when d >= 1 && d <= containers -> [ d ]
+      | Some d ->
+          exit_err
+            (Printf.sprintf
+               "--clones expects 1 <= D <= containers (%d), got %d" containers d)
+    in
+    (* Price the platform into the base config before any tracing — the
+       cost queries emit spans.  The lb field never touches pricing, so
+       every combo shares the base. *)
+    let config = Xc_platforms.Config.make ~cloud runtime in
+    let platform = Xc_platforms.Platform.create config in
+    let base =
+      Xc_platforms.Cluster_sim.config_of_platform ~containers ~connections
+        platform
+    in
+    let combos =
+      List.concat_map
+        (fun k -> List.map (fun d -> (k, d)) clone_grid)
+        kinds
+    in
+    let configs =
+      base
+      :: List.map
+           (fun (k, d) ->
+             { base with
+               Xc_platforms.Cluster_sim.lb =
+                 Some { Xc_lb.Policy.kind = k; clones = d };
+             })
+           combos
+    in
+    let results = Xc_platforms.Cluster_sim.run_sweep ~jobs configs in
+    let baseline, combo_results =
+      match results with r :: rest -> (r, rest) | [] -> assert false
+    in
+    let module T = Xc_sim.Table in
+    let t =
+      T.create
+        ~title:
+          (Printf.sprintf
+             "Fig 9 queueing tail vs policy/clones: %s, %d containers x %d \
+              connections"
+             (Xc_platforms.Config.name config) containers connections)
+        [
+          ("policy", T.Left);
+          ("clones", T.Right);
+          ("p99", T.Right);
+          ("vs baseline", T.Right);
+          ("mean", T.Right);
+          ("req/s", T.Right);
+        ]
+    in
+    let row name d (r : Xc_platforms.Cluster_sim.result) =
+      T.add_row t
+        [
+          name;
+          (if d = 0 then "-" else string_of_int d);
+          Printf.sprintf "%.0fus" (r.Xc_platforms.Cluster_sim.p99_latency_ns /. 1e3);
+          (if d = 0 then "-"
+           else
+             Printf.sprintf "%+.1f%%"
+               ((r.Xc_platforms.Cluster_sim.p99_latency_ns
+                -. baseline.Xc_platforms.Cluster_sim.p99_latency_ns)
+               /. baseline.Xc_platforms.Cluster_sim.p99_latency_ns *. 100.));
+          Printf.sprintf "%.0fus"
+            (r.Xc_platforms.Cluster_sim.mean_latency_ns /. 1e3);
+          Printf.sprintf "%.0f" r.Xc_platforms.Cluster_sim.throughput_rps;
+        ]
+    in
+    row "home-pinned (baseline)" 0 baseline;
+    List.iter2 (fun (k, d) r -> row (Xc_lb.Policy.kind_to_string k) d r)
+      combos combo_results;
+    T.print t;
+    (* Winner = lowest p99; trace baseline vs winner and attribute the
+       gap to mechanisms, the same machinery as `xc trace tails`. *)
+    let (wk, wd), wr =
+      match List.combine combos combo_results with
+      | [] -> assert false
+      | first :: rest ->
+          List.fold_left
+            (fun ((_, br) as best) ((_, r) as cand) ->
+              if
+                r.Xc_platforms.Cluster_sim.p99_latency_ns
+                < br.Xc_platforms.Cluster_sim.p99_latency_ns
+              then cand
+              else best)
+            first rest
+    in
+    Printf.printf
+      "\nwinner: %s d=%d — p99 %.0fus vs baseline %.0fus (%+.1f%%)\n\n"
+      (Xc_lb.Policy.kind_to_string wk)
+      wd
+      (wr.Xc_platforms.Cluster_sim.p99_latency_ns /. 1e3)
+      (baseline.Xc_platforms.Cluster_sim.p99_latency_ns /. 1e3)
+      ((wr.Xc_platforms.Cluster_sim.p99_latency_ns
+       -. baseline.Xc_platforms.Cluster_sim.p99_latency_ns)
+      /. baseline.Xc_platforms.Cluster_sim.p99_latency_ns *. 100.);
+    let traced label cs =
+      Trace.enable ~capacity:(1 lsl 18) ();
+      let (), captured =
+        Trace.capture (fun () ->
+            ignore (Xc_platforms.Cluster_sim.run_sweep ~jobs [ cs ]))
+      in
+      Trace.disable ();
+      match tail_of_events ~label ~pct captured.Trace.events with
+      | Some t -> t
+      | None -> exit_err (label ^ ": trace has no request spans")
+    in
+    let name = Xc_platforms.Config.name config in
+    let ta = traced ("cluster/" ^ name) base in
+    let tb =
+      traced
+        (Printf.sprintf "cluster/%s+%s-x%d" name
+           (Xc_lb.Policy.kind_to_string wk) wd)
+        { base with
+          Xc_platforms.Cluster_sim.lb = Some { Xc_lb.Policy.kind = wk; clones = wd };
+        }
+    in
+    print_string (Xc_trace.Diff.render_tails ~a:ta ~b:tb)
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:"Race the hedging policy/clone grid against the home-pinned \
+             Fig 9 cluster baseline and attribute the winning tail delta \
+             to mechanisms.")
+    Term.(const run $ runtime $ cloud $ containers $ connections $ policy
+          $ clones $ tail $ jobs)
+
+let lb_cmd =
+  Cmd.group
+    (Cmd.info "lb"
+       ~doc:"Load-balancing policies and request hedging: the PS cloning \
+             sweep against the analytic oracle, and the Fig 9 \
+             queueing-tail policy race.")
+    [ lb_sweep_cmd; lb_tail_cmd ]
 
 (* ---------------- xc bench ---------------- *)
 
@@ -1594,5 +1993,6 @@ let () =
             sweep_cmd;
             trace_cmd;
             top_cmd;
+            lb_cmd;
             bench_cmd;
           ]))

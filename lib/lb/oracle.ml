@@ -1,0 +1,31 @@
+let mps_mean_ns ~service_mean_ns ~rho =
+  if rho < 0. || rho >= 1. then
+    invalid_arg "Xc_lb.Oracle.mps_mean_ns: rho must be in [0, 1)";
+  service_mean_ns /. (1. -. rho)
+
+let check_shape ~backends ~clones =
+  if backends <= 0 then invalid_arg "Xc_lb.Oracle: no backends";
+  if clones < 1 || clones > backends then
+    invalid_arg "Xc_lb.Oracle: clones must be in [1, backends]";
+  if backends mod clones <> 0 then
+    invalid_arg "Xc_lb.Oracle: clones must divide backends"
+
+let effective_utilization ~backends ~clones ~arrival_rate_per_ns ~service_mean_ns
+    =
+  float_of_int clones *. arrival_rate_per_ns *. service_mean_ns
+  /. float_of_int backends
+
+let cloned_mean_ns ~backends ~clones ~arrival_rate_per_ns ~service_mean_ns =
+  check_shape ~backends ~clones;
+  let rho =
+    effective_utilization ~backends ~clones ~arrival_rate_per_ns
+      ~service_mean_ns
+  in
+  mps_mean_ns ~service_mean_ns ~rho
+
+let arrival_rate_for ~backends ~clones ~service_mean_ns ~utilization =
+  check_shape ~backends ~clones;
+  if utilization <= 0. || utilization >= 1. then
+    invalid_arg "Xc_lb.Oracle.arrival_rate_for: utilization must be in (0, 1)";
+  utilization *. float_of_int backends
+  /. (float_of_int clones *. service_mean_ns)

@@ -43,7 +43,6 @@ let balancer_cost_ns mode ~syscall_entry_ns ~request_bytes ~response_bytes =
   ns
 
 let pick_backend ~round_robin ~backends =
-  if backends <= 0 then invalid_arg "pick_backend: no backends";
-  let b = !round_robin mod backends in
-  incr round_robin;
+  let b, next = Xc_lb.Policy.round_robin_step ~cursor:!round_robin ~backends in
+  round_robin := next;
   b

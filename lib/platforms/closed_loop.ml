@@ -15,6 +15,7 @@ type config = {
   warmup_ns : float;
   seed : int;
   trace_mechanisms : (string * string * float) list;
+  lb : Xc_lb.Policy.hedge option;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     warmup_ns = 2e8;
     seed = 42;
     trace_mechanisms = [];
+    lb = None;
   }
 
 type result = {
@@ -64,17 +66,67 @@ let run_states config states =
      [Profile.attribute] exact.  The cursor is shared by every server
      in the run so bundles never collide across states. *)
   let synth_cursor = ref (measure_end +. config.rtt_ns +. 1e9) in
-  let rec client_loop st _engine =
+  let rec client_loop (st, pol) _engine =
     let now = Engine.now engine in
     if now < measure_end then begin
       let sent_at = now in
       (* Request reaches the server after half an RTT. *)
       let arrival = now +. (config.rtt_ns /. 2.) in
-      let u = least_loaded st in
-      let start = Float.max arrival st.unit_free.(u) in
-      let service = st.server.service_ns st.rng +. st.server.overhead_ns in
-      let finish = start +. service in
-      st.unit_free.(u) <- finish;
+      let start, finish, hedge_ns, fanout =
+        match pol with
+        | None ->
+            let u = least_loaded st in
+            let start = Float.max arrival st.unit_free.(u) in
+            let service = st.server.service_ns st.rng +. st.server.overhead_ns in
+            let finish = start +. service in
+            st.unit_free.(u) <- finish;
+            (start, finish, 0., 1)
+        | Some (p, d) ->
+            (* Hedged dispatch over the service units: the policy picks
+               [d] distinct units, every clone gets the same sampled
+               requirement (synchronized service), and since the units
+               serve FIFO the winner is known at booking time — the
+               clone with the earliest start.  Losing clones occupy
+               their unit only until the winner finishes
+               (cancel-on-first-complete); a clone that would start
+               after that point never runs at all, a full refund. *)
+            let targets = Xc_lb.Policy.pick_set p ~clones:d in
+            let service = st.server.service_ns st.rng +. st.server.overhead_ns in
+            let bookings =
+              List.map (fun u -> (u, Float.max arrival st.unit_free.(u))) targets
+            in
+            let wu, wstart =
+              match bookings with
+              | [] -> assert false
+              | first :: rest ->
+                  List.fold_left
+                    (fun (bu, bs) (u, s) -> if s < bs then (u, s) else (bu, bs))
+                    first rest
+            in
+            let tstar = wstart +. service in
+            let hedge = ref 0. in
+            List.iter
+              (fun (u, s) ->
+                if u = wu || s < tstar then begin
+                  (* The winner runs to completion; a started sibling
+                     holds its unit until cancellation at [tstar]. *)
+                  if u <> wu then hedge := !hedge +. (tstar -. s);
+                  st.unit_free.(u) <- tstar;
+                  Xc_lb.Policy.admit p u;
+                  Engine.schedule engine tstar (fun _ ->
+                      Xc_lb.Policy.complete p u)
+                end)
+              bookings;
+            if Xc_sim.Metrics.on () then begin
+              Xc_sim.Metrics.counter_incr ~cat:"lb" ~name:"requests";
+              Xc_sim.Metrics.counter_add ~cat:"lb" ~name:"clones-spawned"
+                (float_of_int d);
+              if d > 1 then
+                Xc_sim.Metrics.counter_add ~cat:"lb" ~name:"clones-cancelled"
+                  (float_of_int (d - 1))
+            end;
+            (wstart, tstar, !hedge, d)
+      in
       let response_at = finish +. (config.rtt_ns /. 2.) in
       if Xc_sim.Metrics.on () then begin
         Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" 1.;
@@ -137,23 +189,56 @@ let run_states config states =
                       cursor := !cursor +. d
                     end)
                   config.trace_mechanisms;
+                (* Hedge overhead: unit time the losing clones held
+                   before cancellation, clamped like the mechanism
+                   rows; the name carries the clone fan-out (1ns floor
+                   keeps it visible when siblings never started). *)
+                if fanout > 1 then begin
+                  let d =
+                    Float.min (Float.max hedge_ns 1.) (budget -. !cursor)
+                  in
+                  if d > 0. then begin
+                    Xc_trace.Trace.span ~at:!cursor ~cat:"lb.hedge"
+                      ~name:(Printf.sprintf "clone-x%d" fanout)
+                      d;
+                    cursor := !cursor +. d
+                  end
+                end;
                 if half > 0. then
                   Xc_trace.Trace.span ~at:(finish +. shift) ~cat:"net.hop"
                     ~name:"server->client" half
               end
             end
           end;
-          client_loop st engine)
+          client_loop (st, pol) engine)
     end
   in
-  List.iter
-    (fun st ->
+  let policies =
+    match config.lb with
+    | None -> List.map (fun _ -> None) states
+    | Some { Xc_lb.Policy.kind; clones } ->
+        if clones < 1 then invalid_arg "Closed_loop: clones must be >= 1";
+        (* Per-server policy state, seeded from the experiment seed (not
+           global state) so sharded traced runs stay deterministic; the
+           clone factor is capped at the unit count. *)
+        List.mapi
+          (fun i (st : state) ->
+            let units = Array.length st.unit_free in
+            Some
+              ( Xc_lb.Policy.create
+                  ~seed:(config.seed + (i * 104729) + 1)
+                  ~backends:units kind,
+                Stdlib.min clones units ))
+          states
+  in
+  List.iter2
+    (fun st pol ->
       for _ = 1 to config.connections do
         (* Stagger initial sends a little to avoid a thundering herd. *)
         Engine.schedule engine (Prng.float st.rng 1e6) (fun engine ->
-            client_loop st engine)
+            client_loop (st, pol) engine)
       done)
-    states;
+    states policies;
   Engine.run engine;
   List.map
     (fun st ->

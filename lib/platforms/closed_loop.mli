@@ -33,6 +33,16 @@ type config = {
           geometry are preserved exactly.  Build the rows with
           [Xc_apps.Recipe.mechanisms] {e before} enabling tracing; the
           default [[]] changes nothing. *)
+  lb : Xc_lb.Policy.hedge option;
+      (** When set, unit selection goes through a {!Xc_lb.Policy}
+          (seeded from [seed]) instead of the built-in earliest-free
+          scan, and each request is cloned to [clones] distinct units
+          with synchronized service and cancel-on-first-complete: the
+          clone with the earliest start wins, siblings hold their unit
+          only until the winner finishes (that time is charged to the
+          request as an [lb.hedge]/[clone-xD] trace-bundle row), and a
+          clone that would start later than that never runs — a full
+          refund.  [None] changes nothing. *)
 }
 
 val default_config : config

@@ -19,6 +19,7 @@ type config = {
   warmup_ns : float;
   seed : int;
   request_mech : (string * string * float) list array;
+  lb : Xc_lb.Policy.hedge option;
 }
 
 let default_config mode ~containers =
@@ -47,6 +48,7 @@ let default_config mode ~containers =
     warmup_ns = 5e7;
     seed = 17;
     request_mech = [||];
+    lb = None;
   }
 
 type result = {
@@ -59,7 +61,9 @@ type result = {
   busy_fraction : float;
 }
 
-(* One CPU burst of a request on a specific process of a container. *)
+(* One CPU burst of a request on a specific process of a container.
+   Under hedged dispatch ([config.lb]) a request spawns one burst chain
+   per clone, all pointing at a shared [clone_set]. *)
 type burst = {
   container : int;
   mutable process : int;
@@ -68,6 +72,19 @@ type burst = {
   sent_at : float;
   mutable switch_ns : float;
       (* scheduler switch time charged while serving this request *)
+  mutable cancelled : bool;  (* a sibling clone finished first *)
+  mutable done_ns : float;  (* core time this clone has burnt so far *)
+  set : clone_set option;
+}
+
+and clone_set = {
+  origin : int;  (* client container the response goes back to *)
+  fanout : int;
+  mutable won : bool;
+  mutable bursts : burst list;
+  mutable hedge_ns : float;
+      (* core time burnt by losing clones — the hedge overhead the
+         winner's trace bundle carries as an [lb.hedge] row *)
 }
 
 (* A schedulable entity (a process under Flat, a container/vCPU under
@@ -91,6 +108,30 @@ let run config =
   if Array.length config.stage_cpu_ns = 0 then invalid_arg "Cluster_sim.run: stages";
   let engine = Engine.create () in
   let rng = Prng.create config.seed in
+  (* Hedged dispatch: the policy's probe PRNG is seeded from the
+     experiment seed, never from global state, so traced runs stay
+     deterministic under work stealing. *)
+  let lb_state =
+    match config.lb with
+    | None -> None
+    | Some { Xc_lb.Policy.kind; clones } ->
+        if clones < 1 || clones > config.containers then
+          invalid_arg "Cluster_sim.run: clones must be in [1, containers]";
+        Some
+          ( Xc_lb.Policy.create ~seed:(config.seed lxor 0x2545f491)
+              ~backends:config.containers kind,
+            clones )
+  in
+  let note_policy_enqueue (b : burst) =
+    match lb_state with
+    | Some (pol, _) -> Xc_lb.Policy.enqueue pol b.container
+    | None -> ()
+  in
+  let note_policy_dequeue (b : burst) =
+    match lb_state with
+    | Some (pol, _) -> Xc_lb.Policy.dequeue pol b.container
+    | None -> ()
+  in
   let latencies = Histogram.create () in
   let completed = ref 0 in
   let container_switches = ref 0 in
@@ -178,6 +219,7 @@ let run config =
 
   and enqueue_burst engine (b : burst) =
     let e = entity_of_burst b in
+    note_policy_enqueue b;
     Queue.add b e.work;
     if (not e.queued) && not e.held then begin
       e.queued <- true;
@@ -187,6 +229,27 @@ let run config =
     end
 
   and finish_request engine (b : burst) =
+    (* Cancel-on-first-complete: the first clone through all stages
+       wins; siblings are torn down at their next scheduling point and
+       their remaining stages refunded (never enqueued again).  The
+       core time losers already burnt is charged to the set as hedge
+       overhead. *)
+    (match (b.set, lb_state) with
+    | Some cs, Some (pol, _) when not cs.won ->
+        cs.won <- true;
+        Xc_lb.Policy.complete pol b.container;
+        List.iter
+          (fun (sib : burst) ->
+            if sib != b then begin
+              sib.cancelled <- true;
+              cs.hedge_ns <- cs.hedge_ns +. sib.done_ns;
+              Xc_lb.Policy.complete pol sib.container;
+              if Xc_sim.Metrics.on () then
+                Xc_sim.Metrics.counter_incr ~cat:"lb" ~name:"clones-cancelled"
+            end)
+          cs.bursts
+    | _ -> ());
+    let client = match b.set with Some cs -> cs.origin | None -> b.container in
     let now = Engine.now engine in
     let response_at = now +. (config.client_rtt_ns /. 2.) in
     if Xc_sim.Metrics.on () then begin
@@ -248,6 +311,18 @@ let run config =
                 (List.iter (fun (cat, mname, ns) -> emit cat mname ns))
                 config.request_mech;
               if b.switch_ns > 0. then emit "ctx-switch" "sched" b.switch_ns;
+              (* Hedge overhead: core time the losing clones burnt
+                 before cancellation, clamped like every other row (it
+                 accrues on other backends in parallel, so it can
+                 exceed the response window).  The row name carries the
+                 clone fan-out; a floor of 1ns keeps the fan-out
+                 visible even when the siblings never started. *)
+              (match b.set with
+              | Some cs when cs.fanout > 1 ->
+                  emit "lb.hedge"
+                    (Printf.sprintf "clone-x%d" cs.fanout)
+                    (Float.max cs.hedge_ns 1.)
+              | _ -> ());
               if half > 0. then
                 Xc_trace.Trace.span ~at:(now' +. shift -. half) ~cat:"net.hop"
                   ~name:"server->client" half
@@ -255,19 +330,22 @@ let run config =
           end
         end;
         (* Closed loop: the client immediately sends the next request. *)
-        if now' < measure_end then send_request engine b.container)
+        if now' < measure_end then send_request engine client)
 
   and send_request engine container =
     let now = Engine.now engine in
     let arrive_at = now +. (config.client_rtt_ns /. 2.) in
-    let b =
+    let fresh_burst ~target ~set =
       {
-        container;
+        container = target;
         process = 0;
         remaining = config.stage_cpu_ns.(0);
         stage = 0;
         sent_at = now;
         switch_ns = 0.;
+        cancelled = false;
+        done_ns = 0.;
+        set;
       }
     in
     if Xc_sim.Metrics.on () then begin
@@ -275,9 +353,40 @@ let run config =
       Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" 1.;
       Xc_sim.Metrics.counter_incr ~cat:"net" ~name:"messages"
     end;
-    Engine.schedule engine arrive_at (fun engine ->
-        Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
-        enqueue_burst engine b)
+    match lb_state with
+    | None ->
+        let b = fresh_burst ~target:container ~set:None in
+        Engine.schedule engine arrive_at (fun engine ->
+            Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
+            enqueue_burst engine b)
+    | Some (pol, clones) ->
+        (* The balancer picks on arrival, observing the in-flight and
+           queue state of that instant, and fans the request out to
+           [clones] distinct backends. *)
+        Engine.schedule engine arrive_at (fun engine ->
+            Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
+            let targets = Xc_lb.Policy.pick_set pol ~clones in
+            let cs =
+              {
+                origin = container;
+                fanout = clones;
+                won = false;
+                bursts = [];
+                hedge_ns = 0.;
+              }
+            in
+            cs.bursts <-
+              List.map (fun target -> fresh_burst ~target ~set:(Some cs)) targets;
+            if Xc_sim.Metrics.on () then begin
+              Xc_sim.Metrics.counter_incr ~cat:"lb" ~name:"requests";
+              Xc_sim.Metrics.counter_add ~cat:"lb" ~name:"clones-spawned"
+                (float_of_int clones)
+            end;
+            List.iter
+              (fun (b : burst) ->
+                Xc_lb.Policy.admit pol b.container;
+                enqueue_burst engine b)
+              cs.bursts)
 
   and advance_stage engine (b : burst) =
     b.stage <- b.stage + 1;
@@ -339,7 +448,14 @@ let run config =
         | None ->
             (* Raced empty; retry. *)
             dispatch core_idx engine
+        | Some b when b.cancelled ->
+            (* A sibling clone finished first: tear the loser down at
+               its scheduling point, for free — the refund of its
+               remaining work. *)
+            note_policy_dequeue b;
+            dispatch core_idx engine
         | Some b ->
+            note_policy_dequeue b;
             let now = Engine.now engine in
             (* Switch-cost accounting. *)
             let switch_kind = ref "" in
@@ -396,8 +512,20 @@ let run config =
             Engine.schedule engine
               (now +. switch_cost +. slice)
               (fun engine ->
+                b.done_ns <- b.done_ns +. switch_cost +. slice;
                 b.remaining <- b.remaining -. slice;
-                if b.remaining > 1. then Queue.add b e.work
+                if b.cancelled then begin
+                  (* Cancelled mid-slice: the slice still burnt core
+                     time, so it counts as hedge overhead; the rest of
+                     the clone is dropped. *)
+                  (match b.set with
+                  | Some cs -> cs.hedge_ns <- cs.hedge_ns +. switch_cost +. slice
+                  | None -> ())
+                end
+                else if b.remaining > 1. then begin
+                  note_policy_enqueue b;
+                  Queue.add b e.work
+                end
                 else advance_stage engine b;
                 dispatch core_idx engine)
       end
@@ -460,7 +588,7 @@ let stage_profiles =
     ("logger", 12_000., rep 10 [ K.File_write 256 ]);
   |]
 
-let config_of_platform ?(containers = 4) ?(connections = 5) platform =
+let config_of_platform ?(containers = 4) ?(connections = 5) ?lb platform =
   (* All platform cost queries happen here, before any traced run —
      the queries themselves emit trace spans when tracing is enabled,
      which would pollute the capture and break request attribution. *)
@@ -512,4 +640,5 @@ let config_of_platform ?(containers = 4) ?(connections = 5) platform =
     warmup_ns = 5e7;
     seed = 17;
     request_mech;
+    lb;
   }

@@ -52,6 +52,19 @@ type config = {
           exact attribution); durations are untouched.
           Scheduling/queueing delay stays request self-time.  One entry
           per stage.  The default [[||]] changes nothing. *)
+  lb : Xc_lb.Policy.hedge option;
+      (** When set, requests are no longer pinned to their home
+          container: on arrival a {!Xc_lb.Policy} (fed the per-backend
+          in-flight and queue counts this driver maintains) picks
+          [clones] distinct target containers and the request is cloned
+          to each.  The first clone through all stages responds to the
+          originating client and cancels its siblings at their next
+          scheduling point — their remaining stages are refunded, and
+          the core time they already burnt is charged to the request as
+          hedge overhead (an [lb.hedge]/[clone-xD] row in its trace
+          bundle, clamped like every other row).  The policy's probe
+          PRNG is seeded from [seed], so traced runs stay deterministic
+          at any [--jobs].  [None] changes nothing. *)
 }
 
 val default_config : mode -> containers:int -> config
@@ -78,7 +91,11 @@ val run_sweep : ?jobs:int -> config list -> result list
     PRNG, so the fan-out cannot perturb them. *)
 
 val config_of_platform :
-  ?containers:int -> ?connections:int -> Platform.t -> config
+  ?containers:int ->
+  ?connections:int ->
+  ?lb:Xc_lb.Policy.hedge ->
+  Platform.t ->
+  config
 (** A Fig 9-style cluster config priced from a {!Platform}: the four
     webdevops container processes (nginx, php-fpm, opcache, logger)
     with stage CPU times decomposed into user / syscall-entry /

@@ -14,4 +14,5 @@ let () =
    @ Test_substrate_extra.suites @ Test_inventory.suites @ Test_shapes.suites
    @ Test_parallel.suites @ Test_sharding.suites @ Test_trace.suites
    @ Test_bench_check.suites
-   @ Test_tails.suites @ Test_metrics.suites @ Test_bench_history.suites)
+   @ Test_tails.suites @ Test_metrics.suites @ Test_bench_history.suites
+   @ Test_lb.suites)

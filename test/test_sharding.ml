@@ -265,6 +265,44 @@ let test_merge_telemetry () =
         (Metrics.merge_telemetry (Metrics.merge_telemetry a b) c
         = Metrics.merge_telemetry a (Metrics.merge_telemetry b c)))
 
+(* Hedged cluster runs keep the schedule-independence contract: the
+   LB policy's probe PRNG is seeded from the experiment seed (never
+   global state), so a sweep mixing hedged and plain configurations is
+   structurally identical at any job count and steal schedule. *)
+let prop_hedged_sweep_schedule_independent =
+  let module CS = Xc_platforms.Cluster_sim in
+  let configs =
+    lazy
+      (let platform =
+         Xc_platforms.Platform.create
+           (Xc_platforms.Config.make Xc_platforms.Config.X_container)
+       in
+       let base =
+         {
+           (CS.config_of_platform ~containers:3 ~connections:2 platform) with
+           CS.duration_ns = 5e7;
+           warmup_ns = 1e7;
+         }
+       in
+       [
+         base;
+         { base with CS.lb = Some { Xc_lb.Policy.kind = Xc_lb.Policy.Power_of_two; clones = 2 } };
+         { base with CS.lb = Some { Xc_lb.Policy.kind = Xc_lb.Policy.Least_loaded; clones = 3 } };
+       ])
+  in
+  let reference = lazy (CS.run_sweep ~jobs:1 (Lazy.force configs)) in
+  QCheck.Test.make ~name:"hedged cluster sweeps are schedule-independent"
+    ~count:8
+    QCheck.(pair (int_range 1 4) (int_range 0 10_000))
+    (fun (jobs, steal_seed) ->
+      let shards =
+        List.map
+          (fun c -> Parallel.Shard.thunk (fun () -> CS.run c))
+          (Lazy.force configs)
+      in
+      let r = Parallel.run_sharded ~jobs ~steal_seed ~oversubscribe:true shards in
+      r = Lazy.force reference)
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let suites =
@@ -290,5 +328,5 @@ let suites =
           test_trace_concat_rebases;
         Alcotest.test_case "merge_telemetry" `Quick test_merge_telemetry;
       ]
-      @ qsuite [ prop_deterministic ] );
+      @ qsuite [ prop_deterministic; prop_hedged_sweep_schedule_independent ] );
   ]
