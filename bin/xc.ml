@@ -1363,6 +1363,224 @@ let top_cmd =
     Term.(const run $ exp_arg $ runtime $ cloud $ interval $ rows $ timeseries
           $ rate $ jobs)
 
+(* ---------------- xc cluster ---------------- *)
+
+let cluster_cmd =
+  let module CS = Xc_platforms.Cluster_sim in
+  let fidelity_arg =
+    Arg.(value & opt string "exact"
+        & info [ "fidelity"; "f" ] ~docv:"TIER"
+            ~doc:"Fidelity tier: exact (every request through the \
+                  event-driven dispatcher), fluid (the closed loop solved \
+                  analytically via MVA — means only), or mixed (fluid bulk \
+                  plus a seeded exact slice for the tail).")
+  in
+  let sample_rate =
+    Arg.(value & opt (some int) None
+        & info [ "sample-rate" ] ~docv:"N"
+            ~doc:"Mixed tier only: 1 in N containers runs through the \
+                  exact slice (default 100).")
+  in
+  let nodes =
+    Arg.(value & opt int 1
+        & info [ "nodes" ] ~docv:"N"
+            ~doc:"Independent nodes to simulate; node i derives its seed \
+                  from the base seed + i.")
+  in
+  let containers =
+    Arg.(value & opt int 4
+        & info [ "containers" ] ~docv:"N" ~doc:"Containers per node.")
+  in
+  let connections =
+    Arg.(value & opt int 5
+        & info [ "connections" ] ~docv:"N"
+            ~doc:"Closed-loop client connections per container.")
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let tail =
+    Arg.(value & opt (some string) None
+        & info [ "tail" ] ~docv:"PCT"
+            ~doc:"Attribute the PCT tail (e.g. p99) of the exact/mixed \
+                  request population across mechanisms.")
+  in
+  let tails_out =
+    Arg.(value & opt (some string) None
+        & info [ "tails" ] ~docv:"FILE"
+            ~doc:"With --tail: also write the attribution as a tails CSV \
+                  (byte-identical across --jobs).")
+  in
+  let timeseries =
+    Arg.(value & opt (some string) None
+        & info [ "timeseries" ] ~docv:"FILE"
+            ~doc:"Sample the metric registry every 50 sim-us and write the \
+                  time-series as Chrome counter events, or CSV when FILE \
+                  ends in .csv (byte-identical across --jobs).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains for the node sweep (default \\$XC_JOBS or \
+                  1); results and every artifact are identical at any \
+                  value.")
+  in
+  let run fidelity sample_rate nodes containers connections runtime cloud tail
+      tails_out timeseries jobs =
+    let module Trace = Xc_trace.Trace in
+    let module Export = Xc_trace.Export in
+    let module Profile = Xc_trace.Profile in
+    if nodes < 1 then
+      exit_err (Printf.sprintf "--nodes expects a positive integer, got %d" nodes);
+    if containers < 1 then
+      exit_err
+        (Printf.sprintf "--containers expects a positive integer, got %d" containers);
+    if connections < 1 then
+      exit_err
+        (Printf.sprintf "--connections expects a positive integer, got %d" connections);
+    (match sample_rate with
+    | Some n when n < 1 ->
+        exit_err
+          (Printf.sprintf "--sample-rate expects a positive integer, got %d" n)
+    | _ -> ());
+    let fidelity =
+      match (String.lowercase_ascii fidelity, sample_rate) with
+      | "exact", None -> CS.Exact
+      | "fluid", None -> CS.Fluid
+      | "mixed", rate -> CS.Mixed { sample_rate = Option.value ~default:100 rate }
+      | ("exact" | "fluid"), Some _ ->
+          exit_err "--sample-rate only applies to --fidelity mixed"
+      | other, _ ->
+          exit_err
+            (Printf.sprintf
+               "--fidelity expects exact, fluid or mixed, got %S" other)
+    in
+    let jobs = jobs_or_exit jobs in
+    let tail_pct = Option.map parse_tail_pct tail in
+    if tails_out <> None && tail_pct = None then exit_err "--tails needs --tail";
+    (match (fidelity, tail_pct) with
+    | CS.Fluid, Some _ ->
+        exit_err
+          "--tail needs per-request machinery: use --fidelity exact or mixed"
+    | _ -> ());
+    let config = Xc_platforms.Config.make ~cloud runtime in
+    let platform = Xc_platforms.Platform.create config in
+    (* Price every node's config before enabling tracing/metrics: the
+       platform cost queries emit spans themselves, and they must not
+       pollute the capture (same contract as config_of_platform's doc). *)
+    let base = CS.config_of_platform ~containers ~connections platform in
+    let configs =
+      List.init nodes (fun i -> { base with CS.seed = base.CS.seed + i })
+    in
+    if timeseries <> None then Xc_sim.Metrics.enable ();
+    if tail_pct <> None then Trace.enable ~capacity:(1 lsl 18) ();
+    let results, telemetry =
+      Xc_sim.Metrics.capture (fun () ->
+          Trace.capture (fun () -> CS.run_sweep ~jobs ~fidelity configs))
+    in
+    let results, captured = results in
+    Trace.disable ();
+    Xc_sim.Metrics.disable ();
+    let tier_name =
+      match fidelity with
+      | CS.Exact -> "exact"
+      | CS.Fluid -> "fluid"
+      | CS.Mixed { sample_rate } -> Printf.sprintf "mixed(1/%d)" sample_rate
+    in
+    Printf.printf
+      "xc cluster: %s, %s tier — %d node(s) x %d container(s) x %d \
+       connection(s) (%d containers total)\n\n"
+      (Xc_platforms.Config.name config)
+      tier_name nodes containers connections (nodes * containers);
+    let fmt_p99 v =
+      if Float.is_nan v then "-" else Printf.sprintf "%.0fus" (v /. 1e3)
+    in
+    if nodes <= 8 then begin
+      let t =
+        Xc_sim.Table.create
+          [
+            ("node", Xc_sim.Table.Right);
+            ("req/s", Xc_sim.Table.Right);
+            ("mean", Xc_sim.Table.Right);
+            ("p99", Xc_sim.Table.Right);
+            ("busy", Xc_sim.Table.Right);
+            ("cont-switches", Xc_sim.Table.Right);
+          ]
+      in
+      List.iteri
+        (fun i (r : CS.result) ->
+          Xc_sim.Table.add_row t
+            [
+              string_of_int i;
+              Xc_sim.Table.fmt_si r.throughput_rps;
+              Printf.sprintf "%.0fus" (r.mean_latency_ns /. 1e3);
+              fmt_p99 r.p99_latency_ns;
+              Printf.sprintf "%.0f%%" (100. *. r.busy_fraction);
+              string_of_int r.container_switches;
+            ])
+        results;
+      Xc_sim.Table.print t
+    end;
+    let n = float_of_int (List.length results) in
+    let sum f = List.fold_left (fun a r -> a +. f r) 0. results in
+    let total_rps = sum (fun (r : CS.result) -> r.throughput_rps) in
+    let mean_lat = sum (fun (r : CS.result) -> r.mean_latency_ns) /. n in
+    let mean_busy = sum (fun (r : CS.result) -> r.busy_fraction) /. n in
+    (* Float.max propagates NaN, so seed the fold only from nodes that
+       actually measured a tail (fluid ones report NaN). *)
+    let worst_p99 =
+      List.fold_left
+        (fun a (r : CS.result) ->
+          if Float.is_nan r.p99_latency_ns then a
+          else if Float.is_nan a then r.p99_latency_ns
+          else Float.max a r.p99_latency_ns)
+        Float.nan results
+    in
+    Printf.printf
+      "\ntotal: %s req/s   mean latency %.0fus   worst p99 %s   mean busy \
+       %.0f%%\n"
+      (Xc_sim.Table.fmt_si total_rps)
+      (mean_lat /. 1e3) (fmt_p99 worst_p99) (100. *. mean_busy);
+    (match tail_pct with
+    | None -> ()
+    | Some pct -> (
+        print_newline ();
+        let label = Printf.sprintf "cluster/%s" (Xc_platforms.Config.name config) in
+        match tail_of_events ~label ~pct captured.Trace.events with
+        | None ->
+            print_string
+              "(no request spans in trace; the exact slice produced no \
+               measured requests)\n"
+        | Some t -> (
+            print_string (Profile.render_tail ~slowest:0 t);
+            match tails_out with
+            | Some path ->
+                Export.tails_to_file ~path [ t ];
+                Printf.printf "wrote %s\n" path
+            | None -> ())));
+    match timeseries with
+    | Some path ->
+        Export.to_file ~path
+          [ ("cluster/telemetry", Xc_sim.Metrics.to_trace_events telemetry) ];
+        Printf.printf "\nwrote %s (%d snapshots)\n" path
+          (List.length telemetry.Xc_sim.Metrics.snapshots)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Simulate a multi-node container cluster at a chosen fidelity \
+             tier: exact event-driven, fluid analytic (MVA), or mixed — \
+             fluid bulk with a seeded exact slice for tail attribution.")
+    Term.(const run $ fidelity_arg $ sample_rate $ nodes $ containers
+          $ connections $ runtime $ cloud $ tail $ tails_out $ timeseries
+          $ jobs)
+
 (* ---------------- xc lb ---------------- *)
 
 (* --policy spellings: the Policy kinds plus "subcluster", the
@@ -1993,6 +2211,7 @@ let () =
             sweep_cmd;
             trace_cmd;
             top_cmd;
+            cluster_cmd;
             lb_cmd;
             bench_cmd;
           ]))

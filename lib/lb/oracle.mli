@@ -48,3 +48,34 @@ val arrival_rate_for :
   backends:int -> clones:int -> service_mean_ns:float -> utilization:float -> float
 (** Inverse of {!effective_utilization}: the Poisson arrival rate (per
     ns) that loads each server to [utilization]. *)
+
+(** {1 Closed-network mean-value analysis}
+
+    The fluid fidelity tier of {!Xc_platforms.Cluster_sim} models a
+    node as one load-dependent PS station ([servers] cores, mean
+    per-request demand [service_ns]) driven by [clients] closed-loop
+    customers whose only think time is the client RTT.  {!
+    closed_loop_mva} solves that network exactly. *)
+
+type closed_loop = {
+  mean_ns : float;  (** mean request latency, think time included: Z + R *)
+  throughput_per_ns : float;  (** X, requests per simulated ns *)
+  utilization : float;  (** X * S / c, clamped to 1 *)
+  steps : int;  (** recursion steps burnt (also credited as events) *)
+}
+
+val closed_loop_mva :
+  servers:int -> clients:int -> service_ns:float -> think_ns:float -> closed_loop
+(** Exact steady state of the machine-repairman birth-death chain
+    (lambda(j) = (M-j)/Z, mu(j) = min(j,c)/S) in one numerically
+    stable O(min(M, 4M)) forward sweep with on-the-fly rescaling — the
+    textbook load-dependent MVA recursion loses normalisation to
+    catastrophic cancellation by a few hundred customers at cluster
+    loads, so it is not used.  Past the 4-million-customer cap the
+    saturation asymptote [R = max(R(cap), M*S/c - Z)] takes over
+    (exact in the limit — the station is pinned at [X = c/S] and
+    Little's law fixes the rest).  Credits its sweep steps via
+    {!Xc_sim.Engine.add_domain_events} so fluid runs are visible to
+    the bench regression gate.  Raises [Invalid_argument] on
+    non-positive [servers]/[clients]/[service_ns] or negative/
+    non-finite [think_ns]. *)

@@ -4,6 +4,8 @@ module Histogram = Xc_sim.Histogram
 
 type mode = Flat | Hierarchical
 
+type fidelity = Exact | Fluid | Mixed of { sample_rate : int }
+
 type config = {
   mode : mode;
   pcpus : int;
@@ -59,6 +61,7 @@ type result = {
   process_switches : int;
   switch_overhead_ns : float;
   busy_fraction : float;
+  per_backend_utilization : float array;
 }
 
 (* One CPU burst of a request on a specific process of a container.
@@ -75,6 +78,10 @@ type burst = {
   mutable cancelled : bool;  (* a sibling clone finished first *)
   mutable done_ns : float;  (* core time this clone has burnt so far *)
   set : clone_set option;
+  mutable qnext : burst option;
+      (* intrusive FIFO link: the next burst in its entity's work list.
+         A burst sits in at most one work list at a time, so one link
+         field replaces the per-entity [Queue.t] cells. *)
 }
 
 and clone_set = {
@@ -88,13 +95,37 @@ and clone_set = {
 }
 
 (* A schedulable entity (a process under Flat, a container/vCPU under
-   Hierarchical): its private FIFO of work, plus queueing state. *)
-type entity = {
-  id : int;
-  work : burst Queue.t;
-  mutable queued : bool;  (** in the ready queue *)
-  mutable held : bool;  (** currently on some core *)
-}
+   Hierarchical) is just an index: its state lives in unboxed parallel
+   arrays inside [run] — [queued]/[held] flags packed into [Bytes.t],
+   its work FIFO as head/tail slots over the bursts' intrusive [qnext]
+   links.  Same move the [Heap] rework made for events: a million
+   entities cost a few bytes each instead of a record + [Queue.t]. *)
+
+(* Fixed-capacity int ring (the ready queue, the idle-core pool).  The
+   queued/idle flags bound occupancy — an entity is enqueued at most
+   once, a core parked at most once — so no growth path is needed and
+   FIFO order is exactly what [Queue.t] gave. *)
+module Ring = struct
+  type t = { buf : int array; mutable head : int; mutable tail : int }
+
+  let make cap = { buf = Array.make (Stdlib.max cap 1 + 1) 0; head = 0; tail = 0 }
+
+  let add t v =
+    t.buf.(t.tail) <- v;
+    t.tail <- (t.tail + 1) mod Array.length t.buf
+
+  let take_opt t =
+    if t.head = t.tail then None
+    else begin
+      let v = t.buf.(t.head) in
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      Some v
+    end
+
+  let length t =
+    let n = t.tail - t.head in
+    if n < 0 then n + Array.length t.buf else n
+end
 
 type core_state = {
   mutable last_container : int;
@@ -134,6 +165,12 @@ let run config =
   in
   let latencies = Histogram.create () in
   let completed = ref 0 in
+  (* Throughput census: every response landing inside the measurement
+     window counts, whenever its request was sent.  Gating on the send
+     time too (as [completed], which keys the latency histogram and the
+     trace bundles, must) would silently drop the last ~latency of the
+     window and bias the rate low by latency/duration. *)
+  let finished = ref 0 in
   let container_switches = ref 0 in
   let process_switches = ref 0 in
   let switch_overhead = ref 0. in
@@ -156,17 +193,37 @@ let run config =
     | Hierarchical -> config.containers
     | Flat -> config.containers * config.processes_per_container
   in
-  let entities =
-    Array.init n_entities (fun id ->
-        { id; work = Queue.create (); queued = false; held = false })
+  let queued = Bytes.make n_entities '\000' in
+  let held = Bytes.make n_entities '\000' in
+  let work_head : burst option array = Array.make n_entities None in
+  let work_tail : burst option array = Array.make n_entities None in
+  let work_empty e = match work_head.(e) with None -> true | Some _ -> false in
+  let work_push e (b : burst) =
+    b.qnext <- None;
+    (match work_tail.(e) with
+    | Some t -> t.qnext <- Some b
+    | None -> work_head.(e) <- Some b);
+    work_tail.(e) <- Some b
+  in
+  let work_pop e =
+    match work_head.(e) with
+    | None -> None
+    | Some b ->
+        work_head.(e) <- b.qnext;
+        (match b.qnext with None -> work_tail.(e) <- None | Some _ -> ());
+        b.qnext <- None;
+        Some b
   in
   let entity_of_burst (b : burst) =
     match config.mode with
-    | Hierarchical -> entities.(b.container)
-    | Flat -> entities.((b.container * config.processes_per_container) + b.process)
+    | Hierarchical -> b.container
+    | Flat -> (b.container * config.processes_per_container) + b.process
   in
-  let ready : entity Queue.t = Queue.create () in
+  let ready = Ring.make n_entities in
   let held_count = ref 0 in
+  (* Per-backend core-time, for the utilization column the fluid tier
+     predicts analytically: busy.(i) / (pcpus * horizon). *)
+  let backend_busy = Array.make config.containers 0. in
   (* Telemetry: the scheduler this driver models belongs to a different
      substrate per mode — the hypervisor's credit scheduler over vCPUs
      under Hierarchical, the host kernel's scheduler over processes
@@ -185,7 +242,7 @@ let run config =
   let note_ready () =
     if Xc_sim.Metrics.on () then
       Xc_sim.Metrics.gauge_set ~cat:sched_cat ~name:"ready-queue"
-        (float_of_int (Queue.length ready))
+        (float_of_int (Ring.length ready))
   in
   (* top(1)'s "Tasks:" line — how many schedulable entities this
      scheduler owns (vCPUs under the hypervisor, processes under the
@@ -204,12 +261,12 @@ let run config =
           idle = true;
         })
   in
-  let idle_cores : int Queue.t = Queue.create () in
-  Array.iteri (fun i _ -> Queue.add i idle_cores) cores;
+  let idle_cores = Ring.make config.pcpus in
+  Array.iteri (fun i _ -> Ring.add idle_cores i) cores;
 
   (* Forward declaration of the dispatch loop. *)
   let rec wake_core engine =
-    match Queue.take_opt idle_cores with
+    match Ring.take_opt idle_cores with
     | Some i when cores.(i).idle ->
         cores.(i).idle <- false;
         Xc_sim.Metrics.gauge_add ~cat:"cpu" ~name:"cores-busy" 1.;
@@ -220,10 +277,10 @@ let run config =
   and enqueue_burst engine (b : burst) =
     let e = entity_of_burst b in
     note_policy_enqueue b;
-    Queue.add b e.work;
-    if (not e.queued) && not e.held then begin
-      e.queued <- true;
-      Queue.add e ready;
+    work_push e b;
+    if Bytes.get queued e = '\000' && Bytes.get held e = '\000' then begin
+      Bytes.set queued e '\001';
+      Ring.add ready e;
       note_ready ();
       wake_core engine
     end
@@ -262,6 +319,7 @@ let run config =
           Xc_sim.Metrics.gauge_add ~cat:"net" ~name:"in-flight" (-1.);
           Xc_sim.Metrics.gauge_add ~cat:"platform" ~name:"in-flight" (-1.)
         end;
+        if now' >= measure_start && now' <= measure_end then incr finished;
         if b.sent_at >= measure_start && now' <= measure_end then begin
           incr completed;
           Histogram.add latencies (now' -. b.sent_at);
@@ -346,6 +404,7 @@ let run config =
         cancelled = false;
         done_ns = 0.;
         set;
+        qnext = None;
       }
     in
     if Xc_sim.Metrics.on () then begin
@@ -401,9 +460,9 @@ let run config =
   and pick_entity core =
     let continue_current () =
       if core.cur_entity >= 0 then begin
-        let e = entities.(core.cur_entity) in
-        if (not (Queue.is_empty e.work)) && core.slice_used < config.timeslice_ns
-        then Some (e, false)
+        let e = core.cur_entity in
+        if (not (work_empty e)) && core.slice_used < config.timeslice_ns then
+          Some (e, false)
         else None
       end
       else None
@@ -413,22 +472,22 @@ let run config =
     | None -> begin
         (* Release the current entity. *)
         (if core.cur_entity >= 0 then begin
-           let e = entities.(core.cur_entity) in
-           e.held <- false;
+           let e = core.cur_entity in
+           Bytes.set held e '\000';
            decr held_count;
-           if (not (Queue.is_empty e.work)) && not e.queued then begin
-             e.queued <- true;
-             Queue.add e ready;
+           if (not (work_empty e)) && Bytes.get queued e = '\000' then begin
+             Bytes.set queued e '\001';
+             Ring.add ready e;
              note_ready ()
            end;
            core.cur_entity <- -1
          end);
-        match Queue.take_opt ready with
+        match Ring.take_opt ready with
         | Some e ->
-            e.queued <- false;
-            e.held <- true;
+            Bytes.set queued e '\000';
+            Bytes.set held e '\001';
             incr held_count;
-            core.cur_entity <- e.id;
+            core.cur_entity <- e;
             core.slice_used <- 0.;
             note_ready ();
             Some (e, true)
@@ -442,9 +501,9 @@ let run config =
         core.idle <- true;
         core.cur_entity <- -1;
         Xc_sim.Metrics.gauge_add ~cat:"cpu" ~name:"cores-busy" (-1.);
-        Queue.add core_idx idle_cores
+        Ring.add idle_cores core_idx
     | Some (e, _fresh) -> begin
-        match Queue.take_opt e.work with
+        match work_pop e with
         | None ->
             (* Raced empty; retry. *)
             dispatch core_idx engine
@@ -502,6 +561,8 @@ let run config =
             let slice = Float.max slice 1_000. in
             switch_overhead := !switch_overhead +. switch_cost;
             busy := !busy +. switch_cost +. slice;
+            backend_busy.(b.container) <-
+              backend_busy.(b.container) +. switch_cost +. slice;
             core.slice_used <- core.slice_used +. slice;
             if Xc_sim.Metrics.on () then begin
               Xc_sim.Metrics.counter_incr ~cat:sched_cat ~name:slice_name;
@@ -524,7 +585,7 @@ let run config =
                 end
                 else if b.remaining > 1. then begin
                   note_policy_enqueue b;
-                  Queue.add b e.work
+                  work_push e b
                 end
                 else advance_stage engine b;
                 dispatch core_idx engine)
@@ -540,7 +601,7 @@ let run config =
   done;
   Engine.run ~until:(measure_end +. config.client_rtt_ns) engine;
   {
-    throughput_rps = float_of_int !completed /. (config.duration_ns /. 1e9);
+    throughput_rps = float_of_int !finished /. (config.duration_ns /. 1e9);
     mean_latency_ns = Histogram.mean latencies;
     p99_latency_ns = Histogram.percentile latencies 99.;
     container_switches = !container_switches;
@@ -548,18 +609,141 @@ let run config =
     switch_overhead_ns = !switch_overhead;
     busy_fraction =
       !busy /. (float_of_int config.pcpus *. (measure_end +. config.client_rtt_ns));
+    per_backend_utilization =
+      (let horizon =
+         float_of_int config.pcpus *. (measure_end +. config.client_rtt_ns)
+       in
+       Array.map (fun t -> t /. horizon) backend_busy);
   }
+
+(* ---------------- Fluid fidelity tier ---------------- *)
+
+(* Per-request scheduler-switch estimate for the fluid tier: the exact
+   dispatcher charges a container switch per entity pickup and a
+   process switch per same-container process change, so the estimate
+   counts entity visits per request in two regimes and blends them by
+   utilization.  Light load: the stage chain runs back-to-back on one
+   core (1 container switch, then process switches between stages).
+   Heavy load: under Hierarchical an entity visit drains ~a timeslice
+   of queued bursts before the core rotates; under Flat every burst is
+   its own entity and consecutive dispatches almost never share a
+   container.  W is a few percent of the request demand, so the blend
+   only needs to be roughly right — the queueing itself is MVA-exact. *)
+let fluid_estimate config ~utilization =
+  let n_entities =
+    match config.mode with
+    | Hierarchical -> config.containers
+    | Flat -> config.containers * config.processes_per_container
+  in
+  let n_stages = Array.length config.stage_cpu_ns in
+  let nf = float_of_int n_stages in
+  let cs = config.container_switch_ns ~runnable:n_entities in
+  let ps = config.process_switch_ns in
+  (* The dispatcher never runs a slice shorter than 1us. *)
+  let s_base =
+    Array.fold_left (fun a s -> a +. Float.max s 1_000.) 0. config.stage_cpu_ns
+  in
+  let mean_stage = s_base /. nf in
+  let c_heavy, p_heavy =
+    match config.mode with
+    | Flat ->
+        (* Entities are single processes, so a visit drains queued
+           bursts of the SAME process (other requests' stages): no
+           switch at all between them.  Queues are shallower than the
+           slice allows — sqrt of the slice capacity tracks the
+           measured drain depth across the saturated range. *)
+        let drain =
+          Float.sqrt (Float.max 1. (config.timeslice_ns /. mean_stage))
+        in
+        (nf /. drain, 0.)
+    | Hierarchical ->
+        let bursts_per_visit =
+          Float.max 1. (config.timeslice_ns /. mean_stage)
+        in
+        let visits = Float.max 1. (nf /. bursts_per_visit) in
+        (visits, nf -. visits)
+  in
+  let c_light, p_light = (1., nf -. 1.) in
+  let u = Float.max 0. (Float.min 1. utilization) in
+  let cpr = (u *. c_heavy) +. ((1. -. u) *. c_light) in
+  let ppr = (u *. p_heavy) +. ((1. -. u) *. p_light) in
+  (s_base, cpr, ppr, (cpr *. cs) +. (ppr *. ps))
+
+let run_fluid config =
+  if Array.length config.stage_cpu_ns = 0 then
+    invalid_arg "Cluster_sim.run_fluid: stages";
+  let clients = config.containers * config.connections_per_container in
+  let z = config.client_rtt_ns in
+  let solve ~utilization =
+    let s_base, cpr, ppr, w = fluid_estimate config ~utilization in
+    let s_eff = s_base +. w in
+    let o =
+      Xc_lb.Oracle.closed_loop_mva ~servers:config.pcpus ~clients
+        ~service_ns:s_eff ~think_ns:z
+    in
+    ( o.Xc_lb.Oracle.mean_ns,
+      o.Xc_lb.Oracle.throughput_per_ns,
+      o.Xc_lb.Oracle.utilization,
+      cpr,
+      ppr,
+      w )
+  in
+  (* The switch blend depends on utilization, which depends on the
+     switch blend; one re-solve from the first pass's utilization pins
+     the fixed point (W moves S_eff by a few percent at most). *)
+  let _, _, u0, _, _, _ = solve ~utilization:1. in
+  let mean, x, u, cpr, ppr, w = solve ~utilization:u0 in
+  let completed = x *. config.duration_ns in
+  {
+    throughput_rps = x *. 1e9;
+    mean_latency_ns = mean;
+    (* The fluid tier predicts means, not tails: p99 is NaN unless a
+       sampled exact slice supplies it (the Mixed tier). *)
+    p99_latency_ns = Float.nan;
+    container_switches = int_of_float (cpr *. completed);
+    process_switches = int_of_float (ppr *. completed);
+    switch_overhead_ns = w *. completed;
+    busy_fraction = u;
+    per_backend_utilization =
+      (* the closed loop is symmetric across containers *)
+      Array.make config.containers (u /. float_of_int config.containers);
+  }
+
+let run_mixed ~sample_rate config =
+  if sample_rate < 1 then
+    invalid_arg "Cluster_sim.run_mixed: sample_rate must be >= 1";
+  (* A 1-in-[sample_rate] slice of the containers re-runs through the
+     exact per-request machinery, with the core count scaled to keep
+     the per-core load comparable, so p99 attribution (and the trace
+     bundles behind `--tail`) survive at fluid cost.  The slice is
+     seeded from the config seed: deterministic at any --jobs. *)
+  let sampled = Stdlib.max 1 (config.containers / sample_rate) in
+  let scale = float_of_int sampled /. float_of_int config.containers in
+  let slice_pcpus =
+    Stdlib.max 1 (int_of_float (Float.round (float_of_int config.pcpus *. scale)))
+  in
+  let exact = run { config with containers = sampled; pcpus = slice_pcpus } in
+  let fluid = run_fluid config in
+  { fluid with p99_latency_ns = exact.p99_latency_ns }
+
+let run_fidelity fidelity config =
+  match fidelity with
+  | Exact -> run config
+  | Fluid -> run_fluid config
+  | Mixed { sample_rate } -> run_mixed ~sample_rate config
 
 (* One task, one shard per config: the sweep is the canonical sharded
    workload — each config is an independent seeded simulation and the
    merge is just the index-ordered collect, so the result (and any
    enclosing trace) is identical at every job count. *)
-let run_sweep ?jobs configs =
+let run_sweep ?jobs ?(fidelity = Exact) configs =
   match
     Xc_sim.Parallel.run_sharded ?jobs
       [
         Xc_sim.Parallel.Shard.make
-          ~shards:(Array.of_list (List.map (fun c () -> run c) configs))
+          ~shards:
+            (Array.of_list
+               (List.map (fun c () -> run_fidelity fidelity c) configs))
           ~merge:Array.to_list;
       ]
   with

@@ -22,6 +22,23 @@
 
 type mode = Flat | Hierarchical
 
+type fidelity =
+  | Exact  (** every request through the event-driven dispatcher *)
+  | Fluid
+      (** the whole closed loop solved analytically: one load-dependent
+          PS station (the [pcpus] cores) under exact MVA
+          ({!Xc_lb.Oracle.closed_loop_mva}), with per-request scheduler
+          switch overhead estimated per mode and blended by
+          utilization.  One O(min(clients, 4e6)) sweep instead of
+          O(events): a 10^6-container node solves in milliseconds.
+          Predicts means — [p99_latency_ns] is NaN. *)
+  | Mixed of { sample_rate : int }
+      (** fluid for the bulk, plus a seeded exact slice of 1 in
+          [sample_rate] containers (cores scaled to keep per-core load
+          comparable) that still runs the per-request trace-bundle
+          machinery: [p99_latency_ns] and `--tail` attribution come
+          from the slice, means and utilization from the fluid tier. *)
+
 type config = {
   mode : mode;
   pcpus : int;
@@ -79,16 +96,35 @@ type result = {
   process_switches : int;
   switch_overhead_ns : float;  (** total core time burnt on switching *)
   busy_fraction : float;
+  per_backend_utilization : float array;
+      (** one entry per container: its core-time share of the whole
+          machine over the horizon (sums to [busy_fraction]).  The
+          fluid tier predicts these analytically (symmetric); the
+          differential tests compare the two. *)
 }
 
 val run : config -> result
 
-val run_sweep : ?jobs:int -> config list -> result list
+val run_fluid : config -> result
+(** The {!Fluid} tier: no engine, no entities — exact MVA over the
+    closed network plus the per-mode switch-overhead estimate.  Within
+    a few percent of {!run} on mean latency, throughput and
+    utilization across load levels (differential-tested); switch
+    {e counts} are regime estimates, not event counts.  Credits its
+    MVA recursion steps as engine events so bench gates see the work. *)
+
+val run_fidelity : fidelity -> config -> result
+(** Dispatch on the tier: {!run}, {!run_fluid}, or the mixed sampled
+    slice.  Raises [Invalid_argument] if a {!Mixed} [sample_rate] is
+    < 1. *)
+
+val run_sweep : ?jobs:int -> ?fidelity:fidelity -> config list -> result list
 (** Run many independent configurations (a Figure 8 sweep: per-count,
     per-mode points), fanned out over [jobs] worker domains via
     {!Xc_sim.Parallel}.  Results come back in input order and are
-    identical to [List.map run] — each point has its own engine and
-    PRNG, so the fan-out cannot perturb them. *)
+    identical to [List.map (run_fidelity fidelity)] — each point has
+    its own engine and PRNG, so the fan-out cannot perturb them.
+    [fidelity] defaults to {!Exact}. *)
 
 val config_of_platform :
   ?containers:int ->

@@ -113,35 +113,53 @@ type verdict = {
   current_v : float;
   change_pct : float;  (** (current - baseline) / baseline * 100 *)
   regressed : bool;
+  fresh : bool;
 }
 
 let default_threshold_pct = 3.
 
 let check ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
-  let pct b c = if b <> 0. then (c -. b) /. b *. 100. else 0. in
-  let throughput =
-    let change = pct baseline.events_per_sec current.events_per_sec in
-    {
-      metric = "events_per_sec";
-      baseline_v = baseline.events_per_sec;
-      current_v = current.events_per_sec;
-      change_pct = change;
-      (* Throughput regresses downward. *)
-      regressed = change < -.threshold_pct;
-    }
+  (* A zero baseline has no meaningful percentage: dividing would give
+     +0.0% for ANY current value, so a metric appearing from nothing
+     would print "ok" forever and could never regress.  Flag it as a
+     fresh/baseline-zero verdict instead — visible, never silently
+     green — and leave [regressed] to the caller's eyes (a metric that
+     just came into existence has no trend to regress against). *)
+  let verdict metric ~baseline_v ~current_v ~regresses =
+    if baseline_v = 0. && current_v <> 0. then
+      {
+        metric;
+        baseline_v;
+        current_v;
+        change_pct = Float.nan;
+        regressed = false;
+        fresh = true;
+      }
+    else
+      let change =
+        if baseline_v <> 0. then
+          (current_v -. baseline_v) /. baseline_v *. 100.
+        else 0.
+      in
+      {
+        metric;
+        baseline_v;
+        current_v;
+        change_pct = change;
+        regressed = regresses change;
+        fresh = false;
+      }
   in
-  let wall =
-    let change = pct baseline.total_wall_s current.total_wall_s in
-    {
-      metric = "total_wall_s";
-      baseline_v = baseline.total_wall_s;
-      current_v = current.total_wall_s;
-      change_pct = change;
-      (* Wall clock regresses upward. *)
-      regressed = change > threshold_pct;
-    }
-  in
-  [ throughput; wall ]
+  [
+    (* Throughput regresses downward. *)
+    verdict "events_per_sec" ~baseline_v:baseline.events_per_sec
+      ~current_v:current.events_per_sec
+      ~regresses:(fun change -> change < -.threshold_pct);
+    (* Wall clock regresses upward. *)
+    verdict "total_wall_s" ~baseline_v:baseline.total_wall_s
+      ~current_v:current.total_wall_s
+      ~regresses:(fun change -> change > threshold_pct);
+  ]
 
 let regressed verdicts = List.exists (fun v -> v.regressed) verdicts
 
@@ -155,9 +173,13 @@ let render ?(threshold_pct = default_threshold_pct) ~baseline ~current verdicts 
        apples-to-apples\n";
   List.iter
     (fun v ->
-      Printf.bprintf buf "  %-16s %14.1f -> %14.1f  %+6.1f%%  %s\n" v.metric
-        v.baseline_v v.current_v v.change_pct
-        (if v.regressed then "REGRESSED" else "ok"))
+      if v.fresh then
+        Printf.bprintf buf "  %-16s %14.1f -> %14.1f  %7s  NEW (baseline 0)\n"
+          v.metric v.baseline_v v.current_v "--"
+      else
+        Printf.bprintf buf "  %-16s %14.1f -> %14.1f  %+6.1f%%  %s\n" v.metric
+          v.baseline_v v.current_v v.change_pct
+          (if v.regressed then "REGRESSED" else "ok"))
     verdicts;
   Printf.bprintf buf "result: %s (threshold %.1f%%)\n"
     (if regressed verdicts then "REGRESSION" else "OK")

@@ -36,8 +36,14 @@ type verdict = {
   metric : string;  (** ["events_per_sec"] or ["total_wall_s"] *)
   baseline_v : float;
   current_v : float;
-  change_pct : float;  (** (current - baseline) / baseline * 100 *)
+  change_pct : float;
+      (** (current - baseline) / baseline * 100; NaN when [fresh] *)
   regressed : bool;
+  fresh : bool;
+      (** the baseline is 0 and the current value is not: the metric
+          just came into existence, so there is no trend to compare —
+          rendered as ["NEW (baseline 0)"] instead of a silently-green
+          [+0.0% ok] *)
 }
 
 val default_threshold_pct : float
@@ -46,7 +52,10 @@ val default_threshold_pct : float
 val check :
   ?threshold_pct:float -> baseline:summary -> current:summary -> unit -> verdict list
 (** One verdict per metric: throughput regresses when it {e drops} by
-    more than the threshold, wall-clock when it {e rises} by more. *)
+    more than the threshold, wall-clock when it {e rises} by more.  A
+    metric whose baseline is 0 while the current value is not gets a
+    [fresh] verdict (never [regressed], [change_pct] NaN) — the old
+    behaviour divided into a [+0.0%] that could never regress. *)
 
 val regressed : verdict list -> bool
 

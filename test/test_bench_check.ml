@@ -126,6 +126,47 @@ let contains s needle =
   let rec scan i = i + n <= l && (String.sub s i n = needle || scan (i + 1)) in
   scan 0
 
+let test_fresh_baseline_zero () =
+  (* A metric whose baseline is 0 (the pre-fix artifacts recorded
+     events: 0 for the analytic experiments) must not divide into a
+     silently-green +0.0%: it gets an explicit fresh verdict. *)
+  let baseline = parse (artifact ~eps:0.0 ~wall:4.2 ()) in
+  let current = parse (artifact ~eps:5476.19 ~wall:4.2 ()) in
+  let vs = BJ.check ~baseline ~current () in
+  let t = verdict "events_per_sec" vs in
+  Alcotest.(check bool) "fresh" true t.BJ.fresh;
+  Alcotest.(check bool) "never regressed" false t.BJ.regressed;
+  Alcotest.(check bool) "change is NaN, not +0.0%" true
+    (Float.is_nan t.BJ.change_pct);
+  Alcotest.(check bool) "whole check not regressed" false (BJ.regressed vs);
+  (* Unchanged-zero (0 -> 0) is NOT fresh: nothing came into existence. *)
+  let vs0 =
+    BJ.check ~baseline ~current:(parse (artifact ~eps:0.0 ~wall:4.2 ())) ()
+  in
+  let t0 = verdict "events_per_sec" vs0 in
+  Alcotest.(check bool) "zero to zero is not fresh" false t0.BJ.fresh;
+  Alcotest.(check (float 1e-9)) "zero to zero is 0%" 0. t0.BJ.change_pct;
+  (* And the wall metric, whose regression direction is inverted, gets
+     the same treatment. *)
+  let vs_w =
+    BJ.check
+      ~baseline:(parse (artifact ~wall:0.0 ()))
+      ~current:(parse (artifact ~wall:9.9 ()))
+      ()
+  in
+  let w = verdict "total_wall_s" vs_w in
+  Alcotest.(check bool) "wall fresh, not a +inf%% regression" true
+    (w.BJ.fresh && not w.BJ.regressed)
+
+let test_render_fresh () =
+  let baseline = parse (artifact ~eps:0.0 ()) in
+  let current = parse (artifact ~eps:5476.19 ()) in
+  let vs = BJ.check ~baseline ~current () in
+  let out = BJ.render ~baseline ~current vs in
+  Alcotest.(check bool) "render flags the fresh metric" true
+    (contains out "NEW (baseline 0)");
+  Alcotest.(check bool) "no NaN leaks into the table" false (contains out "nan")
+
 let test_render () =
   let baseline = parse (artifact ~git:"v1.2-3-gabc" ()) in
   let current = parse (artifact ~git:"v1.2-9-gdef" ~jobs:4 ~eps:5000.0 ()) in
@@ -154,6 +195,9 @@ let suites =
         Alcotest.test_case "improvement not flagged" `Quick
           test_improvement_not_flagged;
         Alcotest.test_case "custom threshold" `Quick test_custom_threshold;
+        Alcotest.test_case "fresh baseline-zero verdict" `Quick
+          test_fresh_baseline_zero;
+        Alcotest.test_case "render fresh" `Quick test_render_fresh;
         Alcotest.test_case "render" `Quick test_render;
       ] );
   ]
