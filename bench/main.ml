@@ -33,6 +33,29 @@
 module T = Xc_sim.Table
 module Figures = Xcontainers.Figures
 module Config = Xc_platforms.Config
+module Spec = Xc_suite.Spec
+module Suite = Xc_suite.Suite
+module Registry = Xc_suite.Registry
+module Sdriver = Xc_suite.Driver
+
+(* The experiment grids live in the declarative suite registry
+   (lib/suite): each grid builder below interprets its registry
+   suite's specs into cells, byte-identical to the pre-refactor
+   hand-coded drivers (pinned by the bench/golden differential
+   rules), and the artifact embeds each experiment's resolved spec. *)
+let reg_suite name =
+  match Registry.find_bench name with
+  | Some s -> s
+  | None -> (
+      match Registry.find_smoke name with
+      | Some s -> s
+      | None -> invalid_arg (Printf.sprintf "bench: no registry suite %S" name))
+
+let specs_of name = (reg_suite name).Suite.specs
+
+let distinct xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
 
 (* All experiment output goes through a domain-local buffer, so an
    experiment can run on a worker domain and still have its output
@@ -105,18 +128,34 @@ let table1 () =
 
 (* One cell per (app × cloud): 6 independent closed-loop sweeps the
    pool can schedule freely; the per-app tables need both clouds, so
-   they render in the merge-phase printer from the cell results. *)
+   they render in the merge-phase printer from the cell results.  The
+   grid (which apps, which clouds, app-major order) comes from the
+   registry's fig3 suite. *)
+let macro_app_of_workload = function
+  | "nginx" -> Figures.Nginx_ab
+  | "memcached" -> Figures.Memcached_app
+  | "redis" -> Figures.Redis_app
+  | w -> invalid_arg (Printf.sprintf "fig3: no macro app for workload %S" w)
+
 let fig3 =
-  let apps = Array.of_list Figures.macro_apps in
-  let clouds = [| Config.Amazon_ec2; Config.Google_gce |] in
+  let specs = Array.of_list (specs_of "fig3") in
+  let apps =
+    Array.of_list
+      (distinct
+         (List.map
+            (fun (s : Spec.t) -> macro_app_of_workload s.Spec.workload)
+            (specs_of "fig3")))
+  in
+  assert (Array.length specs = 2 * Array.length apps);
   Cells
     {
       shards =
-        Array.init
-          (Array.length apps * Array.length clouds)
-          (fun i ->
-            let app = apps.(i / 2) and cloud = clouds.(i mod 2) in
-            fun () -> Figures.fig3 cloud app);
+        Array.map
+          (fun (s : Spec.t) ->
+            let app = macro_app_of_workload s.Spec.workload
+            and cloud = s.Spec.platform.Config.cloud in
+            fun () -> Figures.fig3 cloud app)
+          specs;
       print =
         (fun results ->
           section "Figure 3: macrobenchmarks (relative to patched Docker)";
@@ -550,45 +589,33 @@ let clone () =
    closed-loop runs.  The normalisation base (patched Docker) is the
    row's first cell, so the printer needs the whole row — it renders in
    the merge phase. *)
+(* The 11-app × 4-runtime grid comes from the registry's macro-extra
+   suite; every cell is a plain generic closed-loop spec, so the cell
+   body IS the generic driver — the spec path and the bench path
+   cannot diverge. *)
 let macro_extra =
-  let apps =
-    [
-      ("NGINX", fun c p -> Figures.(server_for_public c p `Nginx));
-      ("memcached", fun c p -> Figures.(server_for_public c p `Memcached));
-      ("Redis", fun c p -> Figures.(server_for_public c p `Redis));
-      ("etcd", fun c p -> Figures.(server_for_public c p `Etcd));
-      ("MongoDB", fun c p -> Figures.(server_for_public c p `Mongo));
-      ("Postgres", fun c p -> Figures.(server_for_public c p `Postgres));
-      ("RabbitMQ", fun c p -> Figures.(server_for_public c p `Rabbitmq));
-      ("MySQL", fun c p -> Figures.(server_for_public c p `Mysql));
-      ("Fluentd", fun c p -> Figures.(server_for_public c p `Fluentd));
-      ("Elasticsearch", fun c p -> Figures.(server_for_public c p `Elasticsearch));
-      ("InfluxDB", fun c p -> Figures.(server_for_public c p `Influxdb));
-    ]
+  let specs = Array.of_list (specs_of "macro-extra") in
+  let titles =
+    distinct
+      (List.map
+         (fun (s : Spec.t) ->
+           (Xc_suite.Workload.find_exn s.Spec.workload).Xc_suite.Workload.title)
+         (specs_of "macro-extra"))
   in
   let configs =
-    List.map
-      (fun r -> Config.make ~cloud:Config.Amazon_ec2 r)
-      [ Config.Docker; Config.Xen_container; Config.X_container; Config.Gvisor ]
+    distinct (List.map (fun (s : Spec.t) -> s.Spec.platform) (specs_of "macro-extra"))
   in
-  let apps_a = Array.of_list apps in
+  let titles_a = Array.of_list titles in
   let nc = List.length configs in
-  let configs_a = Array.of_list configs in
+  assert (Array.length specs = Array.length titles_a * nc);
   Cells
     {
       shards =
-        Array.init
-          (Array.length apps_a * nc)
-          (fun i ->
-            let _, make_server = apps_a.(i / nc) in
-            let config = configs_a.(i mod nc) in
+        Array.map
+          (fun (s : Spec.t) ->
             fun () ->
-              let platform = Xc_platforms.Platform.create config in
-              let server = make_server config platform in
-              (Xc_platforms.Closed_loop.run
-                 { Xc_platforms.Closed_loop.default_config with connections = 96 }
-                 server)
-                .throughput_rps);
+              (Sdriver.closed_result s).Xc_platforms.Closed_loop.throughput_rps)
+          specs;
       print =
         (fun tputs ->
           section
@@ -600,14 +627,14 @@ let macro_extra =
               :: List.map (fun c -> (Config.name c, T.Right)) configs)
           in
           Array.iteri
-            (fun a (name, _) ->
+            (fun a name ->
               let base = tputs.(a * nc) in
               T.add_row t
                 (name
                 :: List.mapi
                      (fun c _ -> T.fmt_ratio (tputs.((a * nc) + c) /. base))
                      configs))
-            apps_a;
+            titles_a;
           print_table t;
           print_newline ();
           print_endline
@@ -660,10 +687,18 @@ let coldstart () =
 (* One cell per (load fraction × runtime): 10 independent open-loop
    runs.  Each cell rebuilds its (analytic, cheap) server and the
    Docker capacity it normalises against, so cells share nothing and
-   the pool can run them in any order. *)
+   the pool can run them in any order.  The (fractions × runtimes)
+   grid comes from the registry's latency suite — note the [rate]
+   fields are fractions of Docker's capacity (the figure's x-axis),
+   not the generic driver's self-relative load. *)
 let latency =
-  let fractions = [| 0.3; 0.5; 0.7; 0.85; 0.95 |] in
-  let runtimes = [| Config.Docker; Config.X_container |] in
+  let specs = Array.of_list (specs_of "latency") in
+  let fractions =
+    Array.of_list
+      (distinct
+         (List.map (fun (s : Spec.t) -> s.Spec.load.Spec.rate) (specs_of "latency")))
+  in
+  assert (Array.length specs = 2 * Array.length fractions);
   let server runtime =
     let platform = Xc_platforms.Platform.create (Config.make runtime) in
     let recipe = Xc_apps.Nginx.static_request_wrk in
@@ -678,10 +713,10 @@ let latency =
   Cells
     {
       shards =
-        Array.init
-          (Array.length fractions * Array.length runtimes)
-          (fun i ->
-            let fraction = fractions.(i / 2) and runtime = runtimes.(i mod 2) in
+        Array.map
+          (fun (s : Spec.t) ->
+            let fraction = s.Spec.load.Spec.rate
+            and runtime = s.Spec.platform.Config.runtime in
             fun () ->
               let docker_service, _ = server Config.Docker in
               let _, srv = server runtime in
@@ -689,7 +724,8 @@ let latency =
               Xc_platforms.Open_loop.run
                 (Xc_platforms.Open_loop.config
                    ~rate_rps:(fraction *. capacity) ())
-                srv);
+                srv)
+          specs;
       print =
         (fun results ->
           section
@@ -1038,31 +1074,59 @@ type hedging_cell =
 let hedging =
   let module H = Xc_lb.Hedge in
   let module P = Xc_lb.Policy in
+  (* The three grids — oracle differential points, the policy race,
+     the Fig 9 cluster cells — come from the registry's hedging suite,
+     partitioned by kind in spec order. *)
+  let specs = specs_of "hedging" in
+  let of_kind k = List.filter (fun (s : Spec.t) -> s.Spec.kind = k) specs in
+  let req what = function
+    | Ok v -> v
+    | Error m -> invalid_arg (Printf.sprintf "hedging %s: %s" what m)
+  in
   let oracle_points =
-    [| (0.3, 1); (0.3, 2); (0.3, 3); (0.6, 1); (0.6, 2); (0.6, 3) |]
+    Array.of_list
+      (List.map
+         (fun (s : Spec.t) ->
+           ( req s.Spec.name (Spec.param_float s "utilization" ~default:0.5),
+             req s.Spec.name (Spec.param_int s "clones" ~default:1) ))
+         (of_kind "hedging-oracle"))
   in
   let policy_points =
     Array.of_list
-      (List.concat_map (fun k -> [ (k, 1); (k, 2) ]) P.all_kinds)
+      (List.map
+         (fun (s : Spec.t) ->
+           let kind =
+             match Spec.param s "policy" with
+             | Some p -> req s.Spec.name (P.kind_of_string p)
+             | None -> invalid_arg "hedging: policy spec without param.policy"
+           in
+           (kind, req s.Spec.name (Spec.param_int s "clones" ~default:1)))
+         (of_kind "hedging-policy"))
   in
   let cluster_cells =
-    let platform =
-      Xc_platforms.Platform.create (Config.make Config.X_container)
-    in
-    let base =
-      Xc_platforms.Cluster_sim.config_of_platform ~containers:4 ~connections:5
-        platform
-    in
-    let hedged kind clones =
-      { base with
-        Xc_platforms.Cluster_sim.lb = Some { Xc_lb.Policy.kind; clones };
-      }
-    in
-    [|
-      ("home-pinned (baseline)", base);
-      ("least-loaded d=1", hedged P.Least_loaded 1);
-      ("least-loaded d=2", hedged P.Least_loaded 2);
-    |]
+    (* Configs are priced here at module init — before the harness can
+       enable tracing — so traced runs capture only the simulation's
+       own spans. *)
+    Array.of_list
+      (List.map
+         (fun (s : Spec.t) ->
+           let platform = Xc_platforms.Platform.create s.Spec.platform in
+           let base =
+             Xc_platforms.Cluster_sim.config_of_platform
+               ~containers:s.Spec.load.Spec.containers
+               ~connections:s.Spec.load.Spec.connections platform
+           in
+           match Spec.param s "policy" with
+           | None -> ("home-pinned (baseline)", base)
+           | Some p ->
+               let kind = req s.Spec.name (P.kind_of_string p) in
+               let clones = req s.Spec.name (Spec.param_int s "clones" ~default:1) in
+               ( Printf.sprintf "%s d=%d" p clones,
+                 {
+                   base with
+                   Xc_platforms.Cluster_sim.lb = Some { Xc_lb.Policy.kind; clones };
+                 } ))
+         (of_kind "hedging-cluster"))
   in
   let n_oracle = Array.length oracle_points in
   let n_policy = Array.length policy_points in
@@ -1241,17 +1305,57 @@ type cluster_scale_cell =
     }
   | C_mixed of { label : string; r : Xc_platforms.Cluster_sim.result }
 
-let make_cluster_scale ~fleet_nodes ~fleet_shards ~diffs ~mixed_containers =
+(* The fleet shape, differential points and mixed cell come from a
+   registry suite (cluster-scale, cluster-smoke) — one cluster-fleet
+   spec (nodes, shard count and the heterogeneous size cycle as
+   params), one cluster-diff spec per differential point, one
+   cluster-mixed spec. *)
+let make_cluster_scale (suite : Suite.t) =
   let module CS = Xc_platforms.Cluster_sim in
-  let platform =
-    Xc_platforms.Platform.create (Config.make Config.X_container)
+  let sname = suite.Suite.name in
+  let req what = function
+    | Ok v -> v
+    | Error m -> invalid_arg (Printf.sprintf "%s %s: %s" sname what m)
   in
-  (* Heterogeneous fleet: node sizes cycle 800..1200 containers (mean
-     1000), so the fleet totals fleet_nodes x 1000 containers. *)
-  let sizes = [| 800; 900; 1000; 1100; 1200 |] in
+  let of_kind k =
+    List.filter (fun (s : Spec.t) -> s.Spec.kind = k) suite.Suite.specs
+  in
+  let one k =
+    match of_kind k with
+    | [ s ] -> s
+    | l ->
+        invalid_arg
+          (Printf.sprintf "%s: expected one %s spec, got %d" sname k
+             (List.length l))
+  in
+  let fleet = one "cluster-fleet" in
+  let fleet_nodes = fleet.Spec.load.Spec.nodes in
+  let fleet_shards =
+    req fleet.Spec.name (Spec.param_int fleet "shards" ~default:1)
+  in
+  let platform = Xc_platforms.Platform.create fleet.Spec.platform in
+  (* Heterogeneous fleet: node sizes cycle param.sizes (mean 1000 in
+     the committed suites), so the fleet totals fleet_nodes x mean
+     containers. *)
+  let sizes =
+    match Spec.param fleet "sizes" with
+    | None -> invalid_arg (Printf.sprintf "%s: fleet spec without param.sizes" sname)
+    | Some v ->
+        Array.of_list
+          (List.map
+             (fun s ->
+               match int_of_string_opt s with
+               | Some n when n > 0 -> n
+               | _ ->
+                   invalid_arg
+                     (Printf.sprintf "%s: bad fleet size %S in param.sizes" sname s))
+             (String.split_on_char ':' v))
+  in
   let bases =
     Array.map
-      (fun n -> CS.config_of_platform ~containers:n ~connections:5 platform)
+      (fun n ->
+        CS.config_of_platform ~containers:n
+          ~connections:fleet.Spec.load.Spec.connections platform)
       sizes
   in
   let node_config i =
@@ -1261,7 +1365,19 @@ let make_cluster_scale ~fleet_nodes ~fleet_shards ~diffs ~mixed_containers =
   let diff_cells =
     Array.of_list
       (List.map
-         (fun (mode, n, conns) ->
+         (fun (s : Spec.t) ->
+           let mode =
+             match Spec.param s "mode" with
+             | Some "flat" -> CS.Flat
+             | Some "hier" -> CS.Hierarchical
+             | m ->
+                 invalid_arg
+                   (Printf.sprintf "%s %s: param.mode must be flat or hier, got %s"
+                      sname s.Spec.name
+                      (Option.value m ~default:"<absent>"))
+           in
+           let n = s.Spec.load.Spec.containers
+           and conns = s.Spec.load.Spec.connections in
            let label =
              Printf.sprintf "%s n=%d c=%d"
                (match mode with CS.Flat -> "flat" | CS.Hierarchical -> "hier")
@@ -1274,7 +1390,16 @@ let make_cluster_scale ~fleet_nodes ~fleet_shards ~diffs ~mixed_containers =
              }
            in
            (label, config))
-         diffs)
+         (of_kind "cluster-diff"))
+  in
+  let mixed = one "cluster-mixed" in
+  let mixed_containers = mixed.Spec.load.Spec.containers in
+  let mixed_rate =
+    match mixed.Spec.fidelity with
+    | Spec.Mixed n -> n
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "%s: cluster-mixed spec must have mixed:N fidelity" sname)
   in
   let mixed_config =
     CS.default_config CS.Hierarchical ~containers:mixed_containers
@@ -1318,9 +1443,13 @@ let make_cluster_scale ~fleet_nodes ~fleet_shards ~diffs ~mixed_containers =
             else
               C_mixed
                 {
-                  label = Printf.sprintf "hier n=%d, 1 in 10 sampled" mixed_containers;
+                  label =
+                    Printf.sprintf "hier n=%d, 1 in %d sampled" mixed_containers
+                      mixed_rate;
                   r =
-                    CS.run_fidelity (CS.Mixed { sample_rate = 10 }) mixed_config;
+                    CS.run_fidelity
+                      (CS.Mixed { sample_rate = mixed_rate })
+                      mixed_config;
                 });
       print =
         (fun cells ->
@@ -1407,17 +1536,7 @@ let make_cluster_scale ~fleet_nodes ~fleet_shards ~diffs ~mixed_containers =
             " exact slice so p99/tail attribution survives at fleet scale)");
     }
 
-let cluster_scale =
-  make_cluster_scale ~fleet_nodes:1000 ~fleet_shards:16
-    ~diffs:
-      (let module CS = Xc_platforms.Cluster_sim in
-       [
-         (CS.Hierarchical, 8, 5);
-         (CS.Hierarchical, 400, 5);
-         (CS.Flat, 400, 5);
-         (CS.Hierarchical, 64, 1);
-       ])
-    ~mixed_containers:200
+let cluster_scale = make_cluster_scale (reg_suite "cluster-scale")
 
 (* ------------------------------------------------------------------ *)
 
@@ -1454,36 +1573,42 @@ module CS = Xc_platforms.Cluster_sim
 module CL = Xc_platforms.Closed_loop
 
 let smoke_experiments =
-  let cheap =
-    [
-      "fig4"; "fig5"; "fig6"; "fig8"; "fig9"; "boot"; "ablation"; "security";
-      "migration"; "clone"; "coldstart"; "build-bench"; "density";
-    ]
+  let req what = function
+    | Ok v -> v
+    | Error m -> invalid_arg (Printf.sprintf "smoke %s: %s" what m)
   in
-  let table1_smoke () =
-    section "Smoke: Table 1, 2k invocations";
-    List.iter
-      (fun (m : Xc_apps.Profiles.measurement) ->
-        printf "%-20s %.1f%%\n" m.profile.name (100. *. m.auto_reduction))
-      (Figures.table1 ~invocations:2_000 ())
+  let single name =
+    match (reg_suite name).Suite.specs with
+    | [ s ] -> s
+    | l ->
+        invalid_arg
+          (Printf.sprintf "smoke: expected one %s spec, got %d" name
+             (List.length l))
+  in
+  let table1_smoke =
+    let s = single "table1-smoke" in
+    let invocations = req s.Spec.name (Spec.param_int s "invocations" ~default:2_000) in
+    fun () ->
+      section "Smoke: Table 1, 2k invocations";
+      List.iter
+        (fun (m : Xc_apps.Profiles.measurement) ->
+          printf "%-20s %.1f%%\n" m.profile.name (100. *. m.auto_reduction))
+        (Figures.table1 ~invocations ())
   in
   (* Two cells (one per runtime): the cheapest sharded experiment, and
-     the one the tier-1 determinism rules cmp at --jobs 1 vs 2. *)
+     the one the tier-1 determinism rules cmp at --jobs 1 vs 2.  The
+     cells are plain generic closed-loop specs. *)
   let macro_smoke =
+    let specs = Array.of_list (reg_suite "macro-smoke").Suite.specs in
     Cells
       {
         shards =
           Array.map
-            (fun runtime () ->
-              let c = Config.make runtime in
-              let platform = Xc_platforms.Platform.create c in
-              let server = Figures.server_for_public c platform `Nginx in
-              let config =
-                { CL.default_config with duration_ns = 2e7; warmup_ns = 2e6 }
-              in
-              let r = CL.run config server in
-              (Config.name c, r.CL.throughput_rps))
-            [| Config.Docker; Config.X_container |];
+            (fun (s : Spec.t) ->
+              fun () ->
+                let r = Sdriver.closed_result s in
+                (Config.name s.Spec.platform, r.CL.throughput_rps))
+            specs;
         print =
           (fun rows ->
             section "Smoke: closed-loop macro, 20ms simulated";
@@ -1492,52 +1617,57 @@ let smoke_experiments =
               rows);
       }
   in
-  let latency_smoke () =
-    section "Smoke: open-loop latency, 20ms simulated";
-    let platform = Xc_platforms.Platform.create (Config.make Config.X_container) in
-    let service =
-      Xc_apps.Recipe.service_ns platform Xc_apps.Nginx.static_request_wrk
-    in
-    let server = { CL.units = 4; service_ns = (fun _ -> service); overhead_ns = 0. } in
-    let r =
-      Xc_platforms.Open_loop.run
-        (Xc_platforms.Open_loop.config ~duration_ns:2e7 ~warmup_ns:2e6
-           ~rate_rps:(1e9 /. service) ())
-        server
-    in
-    printf "p50 %.0fus  p99 %.0fus\n" (r.p50_ns /. 1e3) (r.p99_ns /. 1e3)
+  let latency_smoke =
+    let s = single "latency-smoke" in
+    fun () ->
+      section "Smoke: open-loop latency, 20ms simulated";
+      let platform = Xc_platforms.Platform.create s.Spec.platform in
+      let service =
+        Xc_apps.Recipe.service_ns platform Xc_apps.Nginx.static_request_wrk
+      in
+      let server =
+        { CL.units = 4; service_ns = (fun _ -> service); overhead_ns = 0. }
+      in
+      let r =
+        Xc_platforms.Open_loop.run
+          (Xc_platforms.Open_loop.config ~duration_ns:(Spec.duration_ns s)
+             ~warmup_ns:(Spec.warmup_ns s)
+             ~rate_rps:(1e9 /. service) ())
+          server
+      in
+      printf "p50 %.0fus  p99 %.0fus\n" (r.p50_ns /. 1e3) (r.p99_ns /. 1e3)
   in
-  let fig8sim_smoke () =
-    section "Smoke: cluster scheduler sweep, 20ms simulated, inner fan-out";
-    let tiny mode n =
-      {
-        (CS.default_config mode ~containers:n) with
-        duration_ns = 2e7;
-        warmup_ns = 2e6;
-        client_rtt_ns = 1e6;
-      }
-    in
-    let configs =
-      List.concat_map (fun n -> [ tiny CS.Flat n; tiny CS.Hierarchical n ]) [ 4; 8 ]
-    in
-    let results = CS.run_sweep ~jobs:2 configs in
-    List.iter2
-      (fun (c : CS.config) (r : CS.result) ->
-        printf "%-12s n=%d  %s req/s  %d container switches\n"
-          (match c.mode with CS.Flat -> "flat" | CS.Hierarchical -> "hierarchical")
-          c.containers
-          (T.fmt_si r.throughput_rps)
-          r.container_switches)
-      configs results
+  let fig8sim_smoke =
+    let s = single "fig8sim-smoke" in
+    fun () ->
+      section "Smoke: cluster scheduler sweep, 20ms simulated, inner fan-out";
+      let tiny mode n =
+        {
+          (CS.default_config mode ~containers:n) with
+          duration_ns = Spec.duration_ns s;
+          warmup_ns = Spec.warmup_ns s;
+          client_rtt_ns = 1e6;
+        }
+      in
+      let configs =
+        List.concat_map (fun n -> [ tiny CS.Flat n; tiny CS.Hierarchical n ]) [ 4; 8 ]
+      in
+      let results = CS.run_sweep ~jobs:2 configs in
+      List.iter2
+        (fun (c : CS.config) (r : CS.result) ->
+          printf "%-12s n=%d  %s req/s  %d container switches\n"
+            (match c.mode with CS.Flat -> "flat" | CS.Hierarchical -> "hierarchical")
+            c.containers
+            (T.fmt_si r.throughput_rps)
+            r.container_switches)
+        configs results
   in
   (* A tiny fleet keeps the tier-1 determinism rules cheap while still
      exercising every fidelity tier and the differential printer. *)
-  let cluster_smoke =
-    make_cluster_scale ~fleet_nodes:64 ~fleet_shards:8
-      ~diffs:[ (CS.Hierarchical, 8, 5) ]
-      ~mixed_containers:32
-  in
-  List.map (fun n -> (n, List.assoc n all_experiments)) cheap
+  let cluster_smoke = make_cluster_scale (reg_suite "cluster-smoke") in
+  List.map
+    (fun n -> (n, List.assoc n all_experiments))
+    Registry.smoke_cheap
   @ [
       ("table1-smoke", Whole table1_smoke);
       ("macro-smoke", macro_smoke);
@@ -1545,6 +1675,29 @@ let smoke_experiments =
       ("fig8sim-smoke", Whole fig8sim_smoke);
       ("cluster-smoke", cluster_smoke);
     ]
+
+(* Startup agreement check: the declarative registry and this driver
+   table must name exactly the same experiments — an experiment
+   reachable from one but not the other (the silent-skip class the
+   smoke-variant lookup used to risk) aborts the run. *)
+let () =
+  let driver_names =
+    List.filter (fun n -> n <> "csv") (List.map fst all_experiments)
+  in
+  let missing =
+    List.filter (fun n -> not (List.mem n driver_names)) Registry.bench_names
+  and extra =
+    List.filter (fun n -> not (List.mem n Registry.bench_names)) driver_names
+  and smoke_drift =
+    List.map fst smoke_experiments <> Registry.smoke_names
+  in
+  if missing <> [] || extra <> [] || smoke_drift then begin
+    Printf.eprintf
+      "bench: registry/driver drift: missing=[%s] extra=[%s] smoke order %s\n"
+      (String.concat " " missing) (String.concat " " extra)
+      (if smoke_drift then "DRIFTED" else "ok");
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The parallel experiment runner and the machine-readable artifact.   *)
@@ -1666,12 +1819,43 @@ let git_describe () =
     | _ -> "unknown"
   with _ -> "unknown"
 
+(* A named generic suite ("smoke", "macro", "fig9-matrix", or any
+   [Registry.named] entry) run through the generic {!Sdriver}: one cell
+   per spec, merged into one rendered table — the [bench --suite NAME]
+   body.  Registry bench suites use bespoke kinds and are not runnable
+   here (they ARE the experiments above); pointing at them is an error
+   at flag-parse time. *)
+let suite_body (suite : Suite.t) =
+  Cells
+    {
+      shards =
+        Array.map
+          (fun s () -> Sdriver.run s)
+          (Array.of_list suite.Suite.specs);
+      print =
+        (fun rows ->
+          section (Printf.sprintf "Suite: %s" suite.Suite.name);
+          print_string (Sdriver.render (Array.to_list rows)));
+    }
+
+(* The declarative spec behind an experiment name, for embedding in the
+   artifact: registry experiments resolve directly; "suite:N" rows (the
+   --suite flag) resolve the named suite N.  Hand-coded extras (micro,
+   csv) carry no spec. *)
+let spec_of name =
+  match Registry.spec_text name with
+  | Some text -> Some text
+  | None ->
+      if String.length name > 6 && String.sub name 0 6 = "suite:" then
+        Registry.spec_text (String.sub name 6 (String.length name - 6))
+      else None
+
 let write_bench_json ~jobs ~trace_out ~wall_s outcomes =
   let oc = open_out "BENCH_sim.json" in
   let total_events = List.fold_left (fun acc o -> acc + o.events) 0 outcomes in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"xcontainers-bench/2\",\n";
-  Printf.fprintf oc "  \"schema_version\": 2,\n";
+  Printf.fprintf oc "  \"schema\": \"xcontainers-bench/3\",\n";
+  Printf.fprintf oc "  \"schema_version\": 3,\n";
   Printf.fprintf oc "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
   (* The closed-loop default seed: the one PRNG root every stochastic
      experiment derives from (see docs/PERF.md). *)
@@ -1689,10 +1873,16 @@ let write_bench_json ~jobs ~trace_out ~wall_s outcomes =
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i o ->
+      let spec =
+        match spec_of o.name with
+        | None -> ""
+        | Some text -> Printf.sprintf ", \"spec\": \"%s\"" (json_escape text)
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.1f}%s\n"
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.1f%s}%s\n"
         (json_escape o.name) o.wall_s o.events
         (if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0.)
+        spec
         (if i = List.length outcomes - 1 then "" else ","))
     outcomes;
   Printf.fprintf oc "  ]\n}\n";
@@ -1827,6 +2017,21 @@ let () =
         Printf.eprintf "bench: --sample expects a positive integer, got %S\n" s;
         exit 2
   in
+  let suite_exps = ref [] in
+  let add_suite name =
+    match Registry.find_named name with
+    | Some suite ->
+        suite_exps := ("suite:" ^ name, suite_body suite) :: !suite_exps
+    | None ->
+        Printf.eprintf
+          "bench: --suite expects a named generic suite (%s), got %S%s\n"
+          (String.concat " " Registry.named_names)
+          name
+          (if Registry.find_bench name <> None || Registry.find_smoke name <> None
+           then " (bench suites run as plain experiment names)"
+           else "");
+        exit 2
+  in
   let timeseries_out = ref None in
   let interval_us = ref 50 in
   let set_interval s =
@@ -1872,6 +2077,15 @@ let () =
       when String.length arg > 13 && String.sub arg 0 13 = "--timeseries=" ->
         timeseries_out := Some (String.sub arg 13 (String.length arg - 13));
         parse acc rest
+    | "--suite" :: n :: rest ->
+        add_suite n;
+        parse acc rest
+    | [ "--suite" ] ->
+        Printf.eprintf "bench: --suite expects an argument\n";
+        exit 2
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--suite=" ->
+        add_suite (String.sub arg 8 (String.length arg - 8));
+        parse acc rest
     | "--interval" :: n :: rest ->
         set_interval n;
         parse acc rest
@@ -1899,12 +2113,14 @@ let () =
           | Some f -> Some [ (name, f) ]
           | None -> None)
   in
+  let suites = List.rev !suite_exps in
   let experiments =
-    match names with
-    | [] ->
+    match (names, suites) with
+    | [], [] ->
         (* Everything except the artifact writer (ask for "csv" explicitly). *)
         List.filter (fun (name, _) -> name <> "csv") all_experiments
-    | names ->
+    | [], suites -> suites
+    | names, suites ->
         List.concat_map
           (fun name ->
             match lookup name with
@@ -1919,6 +2135,7 @@ let () =
                         (List.map fst smoke_experiments)));
                 exit 2)
           names
+        @ suites
   in
   run_experiments ~jobs:!jobs ~trace_out:!trace_out ~sample:!sample
     ~timeseries_out:!timeseries_out ~interval_us:!interval_us experiments

@@ -2180,6 +2180,222 @@ let bench_cmd =
              exec bench/main.exe).")
     [ bench_check_cmd; bench_scale_cmd; bench_history_cmd ]
 
+(* ---------------- suite ---------------- *)
+
+module Suite = Xc_suite.Suite
+module Suite_registry = Xc_suite.Registry
+module Suite_driver = Xc_suite.Driver
+
+(* A runnable suite: a [Registry.named] entry or a spec file on disk.
+   Registry bench/smoke suites use bespoke kinds the generic driver
+   does not interpret — running them here would silently produce
+   different numbers than the bench, so point at the bench instead. *)
+let resolve_runnable name =
+  match Suite_registry.find_named name with
+  | Some s -> Ok s
+  | None ->
+      if Sys.file_exists name then Suite.parse_file name
+      else if
+        Suite_registry.find_bench name <> None
+        || Suite_registry.find_smoke name <> None
+      then
+        Error
+          (Printf.sprintf
+             "%S is a bench experiment suite; run it with the bench harness \
+              (dune exec bench/main.exe -- %s)"
+             name name)
+      else
+        Error
+          (Printf.sprintf
+             "unknown suite %S: expected a named suite (%s) or a spec file \
+              path"
+             name
+             (String.concat " " Suite_registry.named_names))
+
+let suite_name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME|FILE"
+        ~doc:"A named suite or the path of a key=value spec file.")
+
+let suite_list_cmd =
+  let run () =
+    print_endline "runnable named suites (xc suite run NAME):";
+    List.iter
+      (fun (name, (s : Suite.t)) ->
+        Printf.printf "  %-16s %d experiment(s)\n" name (List.length s.Suite.specs))
+      Suite_registry.named;
+    print_endline "";
+    print_endline
+      "bench suites (declarative grids behind dune exec bench/main.exe -- NAME):";
+    List.iter
+      (fun (name, (s : Suite.t)) ->
+        Printf.printf "  %-16s %d experiment(s)\n" name (List.length s.Suite.specs))
+      Suite_registry.bench;
+    print_endline "";
+    print_endline "bench smoke variants:";
+    List.iter
+      (fun (name, (s : Suite.t)) ->
+        Printf.printf "  %-16s %d experiment(s)\n" name (List.length s.Suite.specs))
+      Suite_registry.smoke
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registry suite and its experiment count.")
+    Term.(const run $ const ())
+
+let suite_show_cmd =
+  let run name =
+    match Suite_registry.spec_text name with
+    | Some text -> print_string text
+    | None -> (
+        if not (Sys.file_exists name) then
+          exit_err
+            (Printf.sprintf
+               "unknown suite %S: expected a registry suite or a spec file path"
+               name)
+        else
+          match Suite.parse_file name with
+          | Error e -> exit_err (name ^ ": " ^ e)
+          | Ok s -> print_string (Suite.print s))
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a suite's canonical spec text (for a file: parse, \
+             validate and reprint — the round-trip form).")
+    Term.(const run $ suite_name_arg)
+
+let suite_run_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains (default \\$XC_JOBS or 1; 0 = auto).")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the result rows as CSV.")
+  in
+  let tails_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tails" ] ~docv:"FILE"
+          ~doc:"Write p99 tail attribution for traced experiments (specs \
+                with trace/tails set).")
+  in
+  let ts_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"Write telemetry snapshots of timeseries-capturing specs \
+                (CSV or Chrome JSON by extension).")
+  in
+  let run name jobs csv_out tails_out ts_out =
+    let jobs = jobs_or_exit jobs in
+    match resolve_runnable name with
+    | Error e -> exit_err e
+    | Ok suite ->
+        let wants_trace = Suite_driver.wants_trace suite in
+        let wants_ts = Suite_driver.wants_timeseries suite in
+        if wants_trace then
+          Xc_trace.Trace.enable ~sample:(Suite_driver.sample_stride suite) ();
+        if wants_ts then
+          Xc_sim.Metrics.enable
+            ~interval_ns:(float_of_int (Suite_driver.interval_us suite) *. 1e3)
+            ();
+        if tails_out <> None && not wants_trace then
+          Printf.eprintf
+            "[xc suite] warning: --tails given but no spec enables \
+             trace/tails capture; the artifact will be empty\n%!";
+        if ts_out <> None && not wants_ts then
+          Printf.eprintf
+            "[xc suite] warning: --timeseries given but no spec enables \
+             timeseries capture; the artifact will be empty\n%!";
+        let outcomes = Suite_driver.run_suite ~jobs suite in
+        let rows =
+          List.map (fun (o : Suite_driver.outcome) -> o.Suite_driver.row) outcomes
+        in
+        print_string
+          (Suite_driver.render
+             ~title:(Printf.sprintf "Suite: %s" suite.Suite.name)
+             rows);
+        (match csv_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Suite_driver.csv rows);
+            close_out oc;
+            Printf.eprintf "[xc suite] wrote %s\n%!" path);
+        (match tails_out with
+        | None -> ()
+        | Some path ->
+            (* The bench tails pipeline: per-experiment tracks, p99 cut
+               over request totals, per-mechanism partition — so a suite
+               artifact is directly comparable with a bench one. *)
+            let tracks =
+              List.map
+                (fun (o : Suite_driver.outcome) ->
+                  ( o.Suite_driver.row.Suite_driver.spec.Xc_suite.Spec.name,
+                    o.Suite_driver.trace.Xc_trace.Trace.events ))
+                outcomes
+            in
+            let tails =
+              List.filter_map
+                (fun (label, events) ->
+                  let att = Xc_trace.Profile.attribute events in
+                  match Xc_trace.Profile.request_totals att with
+                  | [] -> None
+                  | totals ->
+                      let cut =
+                        Xc_sim.Histogram.percentile_floor
+                          (Xc_sim.Histogram.of_samples totals)
+                          99.
+                      in
+                      Some (Xc_trace.Profile.tail_of ~label ~pct:99. ~cut_ns:cut att))
+                tracks
+            in
+            Xc_trace.Export.tails_to_file ~path tails;
+            Printf.eprintf "[xc suite] wrote %s (%d request-emitting track(s))\n%!"
+              path (List.length tails));
+        (match ts_out with
+        | None -> ()
+        | Some path ->
+            let tracks =
+              List.map
+                (fun (o : Suite_driver.outcome) ->
+                  ( o.Suite_driver.row.Suite_driver.spec.Xc_suite.Spec.name,
+                    Xc_sim.Metrics.to_trace_events o.Suite_driver.telemetry ))
+                outcomes
+            in
+            Xc_trace.Export.to_file ~path tracks;
+            Printf.eprintf "[xc suite] wrote %s\n%!" path);
+        let events =
+          List.fold_left
+            (fun a (o : Suite_driver.outcome) -> a + o.Suite_driver.events)
+            0 outcomes
+        in
+        Printf.eprintf "[xc suite] %d experiment(s), %d domain(s), %d events\n%!"
+          (List.length outcomes) jobs events
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a named suite or a spec file through the generic driver: \
+             every experiment is one pool shard, output and artifacts are \
+             byte-identical at any --jobs.")
+    Term.(const run $ suite_name_arg $ jobs $ csv_out $ tails_out $ ts_out)
+
+let suite_cmd =
+  Cmd.group
+    (Cmd.info "suite"
+       ~doc:"Declarative experiment suites: list the registry, print \
+             canonical spec text, run specs through the generic driver.")
+    [ suite_list_cmd; suite_show_cmd; suite_run_cmd ]
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -2213,5 +2429,6 @@ let () =
             top_cmd;
             cluster_cmd;
             lb_cmd;
+            suite_cmd;
             bench_cmd;
           ]))

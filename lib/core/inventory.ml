@@ -141,6 +141,20 @@ let all =
       title = "Kernel build: the process-churn counterpoint";
       modules = [ "Xc_apps.Kernel_build" ];
     };
+    {
+      id = "hedging";
+      kind = Extension;
+      paper_ref = "Figure 9 (load balancing)";
+      title = "Request hedging: cloning oracle, policy race, cluster cells";
+      modules = [ "Xc_lb.Policy"; "Xc_lb.Hedge"; "Xc_lb.Oracle"; "Xc_platforms.Cluster_sim" ];
+    };
+    {
+      id = "cluster-scale";
+      kind = Extension;
+      paper_ref = "Figure 8 (scalability)";
+      title = "Cluster fidelity tiers: fluid fleet, exact diffs, mixed slice";
+      modules = [ "Xc_platforms.Cluster_sim"; "Xc_sim.Parallel" ];
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

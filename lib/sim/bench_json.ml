@@ -1,5 +1,5 @@
 (* Reader/comparator for the BENCH_sim.json artifact the bench harness
-   writes (schema v2, see docs/PERF.md).  Same policy as the trace
+   writes (schema v2/v3, see docs/PERF.md).  Same policy as the trace
    parsers: naive field extraction over the exact format we ourselves
    write — no general JSON parser needed (or allowed — no new
    dependencies).  Top-level fields all precede the "experiments"
@@ -195,7 +195,47 @@ type experiment = {
   wall_s : float;
   events : int;
   events_per_sec : float;
+  spec : string option;
 }
+
+(* The escaped-string reader for the embedded "spec" field (schema v3):
+   unlike {!find_string} it honours backslash escapes, because spec
+   text is multi-line (every newline is a "\n" in the artifact). *)
+let find_escaped_string s key =
+  match find_raw_field s key with
+  | None -> None
+  | Some start ->
+      let slen = String.length s in
+      if start >= slen || s.[start] <> '"' then None
+      else
+        let b = Buffer.create 256 in
+        let rec scan i =
+          if i >= slen then None
+          else
+            match s.[i] with
+            | '"' -> Some (Buffer.contents b)
+            | '\\' when i + 1 < slen -> (
+                match s.[i + 1] with
+                | 'n' ->
+                    Buffer.add_char b '\n';
+                    scan (i + 2)
+                | 't' ->
+                    Buffer.add_char b '\t';
+                    scan (i + 2)
+                | 'u' when i + 5 < slen -> (
+                    match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+                    | Some c when c < 0x80 ->
+                        Buffer.add_char b (Char.chr c);
+                        scan (i + 6)
+                    | _ -> None)
+                | c ->
+                    Buffer.add_char b c;
+                    scan (i + 2))
+            | c ->
+                Buffer.add_char b c;
+                scan (i + 1)
+        in
+        scan (start + 1)
 
 (* Every '{...}' object after the "experiments": key, in artifact
    order.  Objects we ourselves write are one-line and never nest, so
@@ -226,6 +266,7 @@ let experiments_of_string data =
                         wall_s;
                         events = int_of_float events;
                         events_per_sec = eps;
+                        spec = find_escaped_string seg "spec";
                       }
                       :: acc
                   | _ -> acc

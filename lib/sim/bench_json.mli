@@ -24,6 +24,11 @@ type experiment = {
   wall_s : float;
   events : int;
   events_per_sec : float;
+  spec : string option;
+      (** schema v3: the declarative suite spec that produced this
+          experiment, unescaped back to its canonical text form (parse
+          it with [Xc_suite.Suite.parse] to re-run); [None] for older
+          artifacts and for hand-coded extras (micro, csv) *)
 }
 
 val experiments_of_string : string -> experiment list

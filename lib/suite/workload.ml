@@ -1,0 +1,55 @@
+(* The workload registry: the eleven modelled applications, keyed by
+   the spec-file spelling.  [tag] feeds [Figures.server_for_public]
+   (closed-loop servers with multicore capability respected); [recipe]
+   is the per-request recipe used when an open-loop spec needs a raw
+   service time.  [title] is the display spelling the bench tables
+   use. *)
+
+type tag =
+  [ `Nginx
+  | `Memcached
+  | `Redis
+  | `Etcd
+  | `Mongo
+  | `Postgres
+  | `Rabbitmq
+  | `Mysql
+  | `Fluentd
+  | `Elasticsearch
+  | `Influxdb ]
+
+type t = { name : string; title : string; tag : tag; recipe : Xc_apps.Recipe.t }
+
+let all =
+  [
+    { name = "nginx"; title = "NGINX"; tag = `Nginx;
+      recipe = Xc_apps.Nginx.static_request_wrk };
+    { name = "memcached"; title = "memcached"; tag = `Memcached;
+      recipe = Xc_apps.Memcached.mixed_request };
+    { name = "redis"; title = "Redis"; tag = `Redis;
+      recipe = Xc_apps.Redis.request };
+    { name = "etcd"; title = "etcd"; tag = `Etcd;
+      recipe = Xc_apps.Etcd.mixed_request };
+    { name = "mongodb"; title = "MongoDB"; tag = `Mongo;
+      recipe = Xc_apps.Mongodb.read_request };
+    { name = "postgres"; title = "Postgres"; tag = `Postgres;
+      recipe = Xc_apps.Postgres.transaction };
+    { name = "rabbitmq"; title = "RabbitMQ"; tag = `Rabbitmq;
+      recipe = Xc_apps.Rabbitmq.publish_transient };
+    { name = "mysql"; title = "MySQL"; tag = `Mysql;
+      recipe = Xc_apps.Mysql.mixed_query ~offline_patched:true };
+    { name = "fluentd"; title = "Fluentd"; tag = `Fluentd;
+      recipe = Xc_apps.Fluentd.steady_state };
+    { name = "elasticsearch"; title = "Elasticsearch"; tag = `Elasticsearch;
+      recipe = Xc_apps.Elasticsearch.mixed_request };
+    { name = "influxdb"; title = "InfluxDB"; tag = `Influxdb;
+      recipe = Xc_apps.Influxdb.mixed_request };
+  ]
+
+let names = List.map (fun w -> w.name) all
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Workload.find_exn: unknown %S" name)

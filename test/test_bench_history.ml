@@ -18,8 +18,8 @@ let summary ?(git = "abc1234") ?(jobs = 2) ?(wall = 10.) ?(events = 1_000_000)
 let entry ?git ?jobs ?wall ?events ?eps
     ?(experiments =
       [
-        { BJ.name = "fig3"; wall_s = 4.; events = 600_000; events_per_sec = 150_000. };
-        { BJ.name = "table1"; wall_s = 6.; events = 400_000; events_per_sec = 66_666.7 };
+        { BJ.name = "fig3"; wall_s = 4.; events = 600_000; events_per_sec = 150_000.; spec = None };
+        { BJ.name = "table1"; wall_s = 6.; events = 400_000; events_per_sec = 66_666.7; spec = None };
       ]) () =
   { BH.summary = summary ?git ?jobs ?wall ?events ?eps (); experiments }
 

@@ -2,13 +2,10 @@
    registry, the harness and the docs must agree. *)
 
 let bench_targets =
-  (* The experiment names bench/main.ml accepts (kept in sync by this
-     test; "micro" and "csv" are utilities, not experiments). *)
-  [
-    "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig8"; "fig9"; "boot";
-    "ablation"; "fig8sim"; "security"; "migration"; "clone"; "latency";
-    "coldstart"; "macro-extra"; "build-bench"; "density";
-  ]
+  (* The bench experiment names, straight from the suite registry: the
+     single source the bench harness itself interprets ("micro" and
+     "csv" are utilities, not experiments, and carry no spec). *)
+  Xc_suite.Registry.bench_names
 
 let test_inventory_covers_bench () =
   List.iter
@@ -21,10 +18,39 @@ let test_inventory_covers_bench () =
   Alcotest.(check int) "no stale inventory entries" (List.length bench_targets)
     (List.length Xcontainers.Inventory.all)
 
+let test_registry_agrees_with_bench () =
+  (* The registry's bench list is the 20 baseline experiments in bench
+     order; every one resolves to a validated suite with canonical spec
+     text, and the smoke list extends — never contradicts — it. *)
+  Alcotest.(check int) "twenty bench suites" 20 (List.length bench_targets);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " resolves") true
+        (Xc_suite.Registry.find_bench name <> None);
+      match Xc_suite.Registry.spec_text name with
+      | None -> Alcotest.fail (name ^ " has no spec text")
+      | Some text -> (
+          match Xc_suite.Suite.parse text with
+          | Error e -> Alcotest.fail (name ^ ": " ^ e)
+          | Ok reparsed ->
+              Alcotest.(check string)
+                (name ^ " spec text round-trips") text
+                (Xc_suite.Suite.print reparsed)))
+    bench_targets;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " is a bench or smoke suite")
+        true
+        (Xc_suite.Registry.find_bench name <> None
+        || Xc_suite.Registry.find_smoke name <> None))
+    Xc_suite.Registry.smoke_names
+
 let test_inventory_structure () =
   Alcotest.(check int) "eight paper entries" 8
     (List.length Xcontainers.Inventory.paper_entries);
-  Alcotest.(check int) "ten extensions" 10
+  Alcotest.(check int) "twelve extensions" 12
     (List.length Xcontainers.Inventory.extension_entries);
   List.iter
     (fun (e : Xcontainers.Inventory.entry) ->
@@ -51,6 +77,8 @@ let suites =
     ( "core.inventory",
       [
         Alcotest.test_case "covers bench targets" `Quick test_inventory_covers_bench;
+        Alcotest.test_case "registry agrees with bench" `Quick
+          test_registry_agrees_with_bench;
         Alcotest.test_case "structure" `Quick test_inventory_structure;
         Alcotest.test_case "workloads" `Quick test_workloads;
       ] );
