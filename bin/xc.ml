@@ -1201,8 +1201,23 @@ let top_cmd =
             ~doc:"Worker domains for the cluster workload (default \
                   \\$XC_JOBS or 1); snapshots are identical at any value.")
   in
-  let run exp runtime cloud interval_us rows timeseries rate jobs =
+  let alert =
+    Arg.(value & opt_all string []
+        & info [ "alert" ] ~docv:"RULE"
+            ~doc:"Alert rule CAT/NAME>V or CAT/NAME<V, checked against \
+                  every snapshot (repeatable).  Firing metrics are marked \
+                  '!' next to their sparkline and listed after the table.")
+  in
+  let run exp runtime cloud interval_us rows timeseries rate jobs alert =
     let module M = Xc_sim.Metrics in
+    let alert_rules =
+      List.map
+        (fun s ->
+          match M.rule_of_string s with
+          | Ok r -> r
+          | Error e -> exit_err ("--alert: " ^ e))
+        alert
+    in
     if (not (Float.is_finite interval_us)) || interval_us <= 0. then
       exit_err
         (Printf.sprintf
@@ -1246,6 +1261,14 @@ let top_cmd =
     M.enable ~interval_ns:(interval_us *. 1e3) ();
     let (), telemetry = M.capture workload in
     M.disable ();
+    let firings =
+      if alert_rules = [] then [] else M.firings ~rules:alert_rules telemetry
+    in
+    let fired_key key =
+      List.exists
+        (fun (f : M.firing) -> f.M.rule.M.acat ^ "/" ^ f.M.rule.M.aname = key)
+        firings
+    in
     let snaps = telemetry.M.snapshots in
     let n = List.length snaps in
     Printf.printf "xc top: %s on %s — %d snapshot(s), one per %gus of sim time%s\n"
@@ -1344,9 +1367,15 @@ let top_cmd =
             | (M.Level x, _) -> ("gauge", x)
             | (M.Dist d, _) -> ("p99-ns", d.M.p99)
           in
-          Printf.printf "  %-30s %-8s %14.1f  |%s|\n" key kind lastv
-            (sparkline series))
+          Printf.printf "  %-30s %-8s %14.1f  |%s|%s\n" key kind lastv
+            (sparkline series)
+            (if fired_key key then " !" else ""))
         latest.M.values
+    end;
+    if alert_rules <> [] then begin
+      print_newline ();
+      if firings = [] then print_string "(no alerts fired)\n"
+      else print_string (M.render_firings firings)
     end;
     match timeseries with
     | Some path ->
@@ -1361,7 +1390,7 @@ let top_cmd =
              the registry like top(1): last snapshots, then every metric \
              with a per-interval sparkline.")
     Term.(const run $ exp_arg $ runtime $ cloud $ interval $ rows $ timeseries
-          $ rate $ jobs)
+          $ rate $ jobs $ alert)
 
 (* ---------------- xc cluster ---------------- *)
 
@@ -1580,6 +1609,275 @@ let cluster_cmd =
     Term.(const run $ fidelity_arg $ sample_rate $ nodes $ containers
           $ connections $ runtime $ cloud $ tail $ tails_out $ timeseries
           $ jobs)
+
+(* ---------------- xc causal ---------------- *)
+
+(* Causal what-if profiling: predicted (from the traced baseline's
+   attribution) vs actually-rerun virtual speedups over the cluster
+   simulation.  The shared flags price one cluster target per runtime;
+   pricing happens before tracing is enabled (the platform cost
+   queries emit spans themselves). *)
+let causal_mech_doc =
+  Printf.sprintf "Mechanism to scale: %s."
+    (String.concat ", " Xc_obs.Whatif.mechanisms)
+
+let causal_target ~cloud ~containers ~connections ~duration_ms ~warmup_ms ~seed
+    runtime =
+  let module CS = Xc_platforms.Cluster_sim in
+  if containers < 1 then
+    exit_err
+      (Printf.sprintf "--containers expects a positive integer, got %d" containers);
+  if connections < 1 then
+    exit_err
+      (Printf.sprintf "--connections expects a positive integer, got %d" connections);
+  if (not (Float.is_finite duration_ms)) || duration_ms <= 0. then
+    exit_err
+      (Printf.sprintf
+         "--duration-ms expects a positive number of sim-milliseconds, got %g"
+         duration_ms);
+  if (not (Float.is_finite warmup_ms)) || warmup_ms < 0. || warmup_ms >= duration_ms
+  then
+    exit_err
+      (Printf.sprintf "--warmup-ms expects 0 <= W < duration, got %g" warmup_ms);
+  let config = Xc_platforms.Config.make ~cloud runtime in
+  let platform = Xc_platforms.Platform.create config in
+  let base =
+    {
+      (CS.config_of_platform ~containers ~connections platform) with
+      CS.duration_ns = duration_ms *. 1e6;
+      warmup_ns = warmup_ms *. 1e6;
+    }
+  in
+  let base = match seed with None -> base | Some s -> { base with CS.seed = s } in
+  {
+    Xc_obs.Causal.label =
+      Printf.sprintf "%s/c%d" (Xc_suite.Spec.runtime_to_string runtime) connections;
+    config = base;
+  }
+
+let causal_common_args =
+  let cloud =
+    Arg.(value & opt cloud_conv Xc_platforms.Config.Amazon_ec2
+        & info [ "cloud"; "c" ] ~doc:"Cloud: amazon, google, local.")
+  in
+  let containers =
+    Arg.(value & opt int 4
+        & info [ "containers" ] ~docv:"N" ~doc:"Containers per node.")
+  in
+  let connections =
+    Arg.(value & opt int 1
+        & info [ "connections" ] ~docv:"N"
+            ~doc:"Closed-loop client connections per container.  1 is the \
+                  off-knee regime where the linear prediction holds; 5 is \
+                  the Fig 9 queueing knee where it visibly under-shoots.")
+  in
+  let duration_ms =
+    Arg.(value & opt float 100.
+        & info [ "duration-ms" ] ~docv:"MS"
+            ~doc:"Measured window in simulated milliseconds.")
+  in
+  let warmup_ms =
+    Arg.(value & opt float 20.
+        & info [ "warmup-ms" ] ~docv:"MS" ~doc:"Warmup before the window.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+        & info [ "seed" ] ~doc:"PRNG seed (default: the platform config's).")
+  in
+  (cloud, containers, connections, duration_ms, warmup_ms, seed)
+
+let causal_run_cmd =
+  let cloud, containers, connections, duration_ms, warmup_ms, seed =
+    causal_common_args
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let mech =
+    Arg.(value & opt string "syscall-entry"
+        & info [ "mech"; "m" ] ~docv:"MECH" ~doc:causal_mech_doc)
+  in
+  let scale =
+    Arg.(value & opt float 0.7
+        & info [ "scale"; "s" ] ~docv:"S"
+            ~doc:"Cost multiplier in [0, 10]: 0.7 asks \"what if this \
+                  mechanism were 30% cheaper\".")
+  in
+  let run runtime cloud containers connections duration_ms warmup_ms seed mech
+      scale =
+    (match Xc_obs.Whatif.validate ~mech ~scale with
+    | Ok () -> ()
+    | Error e -> exit_err e);
+    let target =
+      causal_target ~cloud ~containers ~connections ~duration_ms ~warmup_ms
+        ~seed runtime
+    in
+    match Xc_obs.Causal.run_point target ~mech ~scale with
+    | Error e -> exit_err e
+    | Ok (b, pt) ->
+        print_string (Xc_obs.Causal.render_baseline ~label:target.Xc_obs.Causal.label b);
+        print_newline ();
+        print_string (Xc_obs.Causal.render_points [ pt ])
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"One what-if point: traced baseline, critical-path shares, and \
+             the predicted vs actually-rerun speedup.")
+    Term.(const run $ runtime $ cloud $ containers $ connections $ duration_ms
+          $ warmup_ms $ seed $ mech $ scale)
+
+let causal_sweep_cmd =
+  let cloud, containers, connections, duration_ms, warmup_ms, seed =
+    causal_common_args
+  in
+  let runtimes =
+    Arg.(value & opt_all runtime_conv []
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime to sweep (repeatable; default docker and \
+                  x-container).")
+  in
+  let mechs =
+    Arg.(value & opt_all string []
+        & info [ "mech"; "m" ] ~docv:"MECH"
+            ~doc:(causal_mech_doc
+                 ^ "  Repeatable; default syscall-entry, syscall-work, \
+                    ctx-switch."))
+  in
+  let scales =
+    Arg.(value & opt_all float []
+        & info [ "scale"; "s" ] ~docv:"S"
+            ~doc:"Cost multiplier to sweep (repeatable; default 0.7).")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~docv:"FILE"
+            ~doc:"Also write every point as CSV (byte-identical across \
+                  --jobs).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+        & info [ "jobs"; "j" ]
+            ~doc:"Worker domains for the baseline/rerun fan-out (default \
+                  \\$XC_JOBS or 1); output and the CSV are identical at \
+                  any value.")
+  in
+  let run runtimes cloud containers connections duration_ms warmup_ms seed
+      mechs scales csv_out jobs =
+    let jobs = jobs_or_exit jobs in
+    let runtimes =
+      if runtimes <> [] then runtimes
+      else [ Xc_platforms.Config.Docker; Xc_platforms.Config.X_container ]
+    in
+    let mechs =
+      if mechs <> [] then mechs
+      else [ "syscall-entry"; "syscall-work"; "ctx-switch" ]
+    in
+    let scales = if scales <> [] then scales else [ 0.7 ] in
+    List.iter
+      (fun mech ->
+        List.iter
+          (fun scale ->
+            match Xc_obs.Whatif.validate ~mech ~scale with
+            | Ok () -> ()
+            | Error e -> exit_err e)
+          scales)
+      mechs;
+    let targets =
+      List.map
+        (causal_target ~cloud ~containers ~connections ~duration_ms ~warmup_ms
+           ~seed)
+        runtimes
+    in
+    match Xc_obs.Causal.sweep ~jobs ~targets ~mechs ~scales () with
+    | Error e -> exit_err e
+    | Ok (baselines, points) ->
+        List.iter
+          (fun (label, b) ->
+            print_string (Xc_obs.Causal.render_baseline ~label b);
+            print_newline ())
+          baselines;
+        print_string (Xc_obs.Causal.render_points points);
+        (match csv_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Xc_obs.Causal.points_csv points);
+            close_out oc;
+            Printf.eprintf "[xc causal] wrote %s (%d point(s))\n%!" path
+              (List.length points))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"The full what-if grid: one traced baseline per runtime, one \
+             re-priced rerun per (runtime x mechanism x scale), predicted \
+             vs rerun side by side — byte-identical at any --jobs.")
+    Term.(const run $ runtimes $ cloud $ containers $ connections $ duration_ms
+          $ warmup_ms $ seed $ mechs $ scales $ csv_out $ jobs)
+
+let causal_explain_cmd =
+  let cloud, containers, connections, duration_ms, warmup_ms, seed =
+    causal_common_args
+  in
+  let runtime =
+    Arg.(value & opt runtime_conv Xc_platforms.Config.X_container
+        & info [ "runtime"; "r" ]
+            ~doc:"Runtime: docker, gvisor, clear, xen-container, x-container.")
+  in
+  let slowest =
+    Arg.(value & opt int 3
+        & info [ "slowest" ] ~docv:"K"
+            ~doc:"Render the K slowest requests' full blame chains.")
+  in
+  let run runtime cloud containers connections duration_ms warmup_ms seed
+      slowest =
+    if slowest < 0 then
+      exit_err
+        (Printf.sprintf "--slowest expects a non-negative integer, got %d" slowest);
+    let module CP = Xc_obs.Critical_path in
+    let target =
+      causal_target ~cloud ~containers ~connections ~duration_ms ~warmup_ms
+        ~seed runtime
+    in
+    let result, captured =
+      Xc_obs.Causal.with_tracing (fun () ->
+          Xc_trace.Trace.capture (fun () ->
+              Xc_platforms.Cluster_sim.run target.Xc_obs.Causal.config))
+    in
+    let cp = CP.extract captured.Xc_trace.Trace.events in
+    let summary = CP.summarize cp in
+    Printf.printf "%s: %.0f req/s, mean %.0fus, p99 %.0fus\n\n"
+      target.Xc_obs.Causal.label result.Xc_platforms.Cluster_sim.throughput_rps
+      (result.Xc_platforms.Cluster_sim.mean_latency_ns /. 1e3)
+      (result.Xc_platforms.Cluster_sim.p99_latency_ns /. 1e3);
+    print_string (CP.render summary);
+    let rec take k = function
+      | c :: rest when k > 0 -> c :: take (k - 1) rest
+      | _ -> []
+    in
+    List.iter
+      (fun chain ->
+        print_newline ();
+        print_string (CP.render_chain chain))
+      (take slowest cp.CP.chains)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Traced critical-path extraction only: the aggregate blame \
+             shares plus the slowest requests' full chains (each chain's \
+             segments telescope exactly to the request's duration).")
+    Term.(const run $ runtime $ cloud $ containers $ connections $ duration_ms
+          $ warmup_ms $ seed $ slowest)
+
+let causal_cmd =
+  Cmd.group
+    (Cmd.info "causal"
+       ~doc:"Causal what-if profiler: critical-path extraction over the \
+             traced cluster sim, plus virtual-speedup experiments — \
+             predictions from attribution validated against actually \
+             re-priced reruns.")
+    [ causal_run_cmd; causal_sweep_cmd; causal_explain_cmd ]
 
 (* ---------------- xc lb ---------------- *)
 
@@ -2428,6 +2726,7 @@ let () =
             trace_cmd;
             top_cmd;
             cluster_cmd;
+            causal_cmd;
             lb_cmd;
             suite_cmd;
             bench_cmd;

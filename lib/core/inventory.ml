@@ -155,6 +155,13 @@ let all =
       title = "Cluster fidelity tiers: fluid fleet, exact diffs, mixed slice";
       modules = [ "Xc_platforms.Cluster_sim"; "Xc_sim.Parallel" ];
     };
+    {
+      id = "causal";
+      kind = Extension;
+      paper_ref = "§4 (overhead attribution)";
+      title = "Causal what-if profiler: predicted vs rerun virtual speedups";
+      modules = [ "Xc_obs.Critical_path"; "Xc_obs.Whatif"; "Xc_obs.Causal" ];
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,117 @@
+module CS = Xc_platforms.Cluster_sim
+
+type t = { mech : string; scale : float }
+
+let mechanisms =
+  [ "cpu"; "syscall-entry"; "syscall-work"; "ctx-switch"; "irq"; "net.hop" ]
+
+let max_scale = 10.
+
+let validate ~mech ~scale =
+  if not (List.mem mech mechanisms) then
+    Error
+      (Printf.sprintf "unknown mechanism %S (%s)" mech
+         (String.concat ", " mechanisms))
+  else if not (Float.is_finite scale) then
+    Error (Printf.sprintf "scale must be a finite number")
+  else if scale < 0. || scale > max_scale then
+    Error
+      (Printf.sprintf "scale must be in [0, %g], got %s" max_scale
+         (Printf.sprintf "%g" scale))
+  else Ok ()
+
+(* Shortest float form for the canonical rendering (mirrors
+   Spec.float_to_string without depending on the suite layer). *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let rec go p =
+      if p > 17 then Printf.sprintf "%.17g" v
+      else
+        let s = Printf.sprintf "%.*g" p v in
+        if float_of_string s = v then s else go (p + 1)
+    in
+    go 1
+
+let to_string w = Printf.sprintf "%s x%s" w.mech (float_str w.scale)
+
+let ( let* ) = Result.bind
+
+let parse s =
+  let s = String.trim s in
+  (* "MECH xS" (the canonical form), "MECH:S" or "MECH=S".  A bare "x"
+     separator without the space would be ambiguous: mechanism names
+     themselves contain 'x' (ctx-switch). *)
+  let split =
+    match String.index_opt s ':' with
+    | Some i -> Some (i, 1)
+    | None -> (
+        match String.index_opt s '=' with
+        | Some i -> Some (i, 1)
+        | None -> (
+            let rec find i =
+              if i + 1 >= String.length s then None
+              else if s.[i] = ' ' then Some (i, if s.[i + 1] = 'x' then 2 else 1)
+              else find (i + 1)
+            in
+            find 0))
+  in
+  match split with
+  | None ->
+      Error
+        (Printf.sprintf
+           "expected MECH xSCALE, MECH:SCALE or MECH=SCALE, got %S" s)
+  | Some (i, skip) -> (
+      let mech = String.trim (String.sub s 0 i) in
+      let rest =
+        String.trim (String.sub s (i + skip) (String.length s - i - skip))
+      in
+      match float_of_string_opt rest with
+      | None -> Error (Printf.sprintf "bad scale %S in %S" rest s)
+      | Some scale ->
+          let* () = validate ~mech ~scale in
+          Ok { mech; scale })
+
+let scale_rows w rows =
+  List.map
+    (fun (cat, name, ns) ->
+      if cat = w.mech then (cat, name, ns *. w.scale) else (cat, name, ns))
+    rows
+
+let apply_cluster w (c : CS.config) =
+  let* () = validate ~mech:w.mech ~scale:w.scale in
+  match w.mech with
+  | "ctx-switch" ->
+      let cswitch = c.CS.container_switch_ns and pswitch = c.CS.process_switch_ns in
+      Ok
+        {
+          c with
+          CS.container_switch_ns =
+            (fun ~runnable -> w.scale *. cswitch ~runnable);
+          process_switch_ns = w.scale *. pswitch;
+        }
+  | "net.hop" -> Ok { c with CS.client_rtt_ns = w.scale *. c.CS.client_rtt_ns }
+  | _ ->
+      if Array.length c.CS.request_mech = 0 then
+        Error
+          (Printf.sprintf
+             "mechanism %s needs per-stage pricing, but this config has no \
+              request_mech rows (price it with config_of_platform)"
+             w.mech)
+      else
+        let request_mech = Array.map (scale_rows w) c.CS.request_mech in
+        (* The same fold config_of_platform derives stage_cpu_ns with,
+           so scale 1 reproduces the original bytes. *)
+        let stage_cpu_ns =
+          Array.map
+            (List.fold_left (fun a (_, _, ns) -> a +. ns) 0.)
+            request_mech
+        in
+        Ok { c with CS.request_mech; stage_cpu_ns }
+
+let apply_cluster_all ws config =
+  List.fold_left
+    (fun acc (mech, scale) ->
+      let* c = acc in
+      apply_cluster { mech; scale } c)
+    (Ok config) ws

@@ -359,3 +359,118 @@ let to_trace_events tel =
               ])
         snap.values)
     tel.snapshots
+
+(* ---------------- Alert rules ---------------- *)
+
+type alert_rule = {
+  acat : string;
+  aname : string;
+  above : float option;
+  below : float option;
+}
+
+let alert_rules : alert_rule list Atomic.t = Atomic.make []
+
+let alert ~cat ~name ?above ?below () =
+  if above = None && below = None then
+    invalid_arg "Metrics.alert: at least one of ~above / ~below is required";
+  let r = { acat = cat; aname = name; above; below } in
+  let rec add () =
+    let old = Atomic.get alert_rules in
+    if not (Atomic.compare_and_set alert_rules old (old @ [ r ])) then add ()
+  in
+  add ()
+
+let alerts () = Atomic.get alert_rules
+let clear_alerts () = Atomic.set alert_rules []
+
+let rule_key r = r.acat ^ "/" ^ r.aname
+
+let rule_to_string r =
+  let fmt v = Printf.sprintf "%g" v in
+  rule_key r
+  ^ (match r.above with Some v -> ">" ^ fmt v | None -> "")
+  ^ (match r.below with Some v -> "<" ^ fmt v | None -> "")
+
+let rule_of_string s =
+  let s = String.trim s in
+  let op =
+    let gt = String.index_opt s '>' and lt = String.index_opt s '<' in
+    match (gt, lt) with
+    | Some g, Some l -> Some (min g l)
+    | Some i, None | None, Some i -> Some i
+    | None, None -> None
+  in
+  match op with
+  | None ->
+      Error
+        (Printf.sprintf "expected CAT/NAME>VALUE or CAT/NAME<VALUE, got %S" s)
+  | Some i -> (
+      let key = String.trim (String.sub s 0 i) in
+      let v = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      match String.index_opt key '/' with
+      | None -> Error (Printf.sprintf "metric key must be CAT/NAME, got %S" key)
+      | Some j -> (
+          let cat = String.sub key 0 j
+          and name = String.sub key (j + 1) (String.length key - j - 1) in
+          if cat = "" || name = "" then
+            Error (Printf.sprintf "metric key must be CAT/NAME, got %S" key)
+          else
+            match float_of_string_opt v with
+            | Some t when Float.is_finite t ->
+                if s.[i] = '>' then
+                  Ok { acat = cat; aname = name; above = Some t; below = None }
+                else
+                  Ok { acat = cat; aname = name; above = None; below = Some t }
+            | _ -> Error (Printf.sprintf "bad threshold %S in %S" v s)))
+
+type firing = { rule : alert_rule; at : Time_ns.t; value : float }
+
+(* The scalar a rule tests: counters and gauges their value, histogram
+   metrics their p99 (the tail is what thresholds guard). *)
+let scalar_of_sample = function Count v -> v | Level v -> v | Dist d -> d.p99
+
+let fired r v =
+  (match r.above with Some t -> v > t | None -> false)
+  || match r.below with Some t -> v < t | None -> false
+
+let firings ?rules tel =
+  let rules = match rules with Some r -> r | None -> alerts () in
+  List.concat_map
+    (fun snap ->
+      List.filter_map
+        (fun r ->
+          match List.assoc_opt (rule_key r) snap.values with
+          | None -> None
+          | Some s ->
+              let v = scalar_of_sample s in
+              if fired r v then Some { rule = r; at = snap.at; value = v }
+              else None)
+        rules)
+    tel.snapshots
+
+let render_firings fs =
+  let buf = Buffer.create 256 in
+  (* One line per rule: first firing, worst value, count — readable
+     even when a threshold stays crossed for thousands of snapshots. *)
+  let seen = ref [] in
+  List.iter
+    (fun f ->
+      let key = rule_to_string f.rule in
+      match List.assoc_opt key !seen with
+      | Some cell ->
+          let n, worst = !cell in
+          let worse =
+            match f.rule.above with
+            | Some _ -> Float.max worst f.value
+            | None -> Float.min worst f.value
+          in
+          cell := (n + 1, worse)
+      | None -> seen := !seen @ [ (key, ref (1, f.value)) ])
+    fs;
+  List.iter
+    (fun (key, cell) ->
+      let n, worst = !cell in
+      Printf.bprintf buf "ALERT %s: %d snapshot(s), worst %g\n" key n worst)
+    !seen;
+  Buffer.contents buf

@@ -162,3 +162,46 @@ val to_trace_events : telemetry -> Xc_trace.Trace.event list
     [.p99]/[.max]), ready for [Xc_trace.Export.to_file] — so the
     time-series lands in the same CSV / Chrome-trace containers as
     event traces, and Chrome renders the counter tracks natively. *)
+
+(** {2 Alert rules}
+
+    Declarative thresholds over the telemetry registry, checked at
+    snapshot boundaries: a rule names a metric key ([cat/name]) and an
+    [above] and/or [below] bound.  Checking is a {e pure scan} over a
+    captured {!telemetry}'s snapshots ({!firings}) — nothing in the
+    capture/merge pipeline changes, so alerting never perturbs the
+    byte-identical [--jobs] contract.  Counters and gauges test their
+    value; histogram metrics test their snapshot p99. *)
+
+type alert_rule = {
+  acat : string;
+  aname : string;
+  above : float option;  (** fire when value > bound *)
+  below : float option;  (** fire when value < bound *)
+}
+
+val alert : cat:string -> name:string -> ?above:float -> ?below:float -> unit -> unit
+(** Register a rule process-wide (at least one bound required, or
+    [Invalid_argument]).  Rules persist until {!clear_alerts}. *)
+
+val alerts : unit -> alert_rule list
+(** Registered rules, in registration order. *)
+
+val clear_alerts : unit -> unit
+
+val rule_to_string : alert_rule -> string
+(** ["cat/name>0.9"] / ["cat/name<5"]. *)
+
+val rule_of_string : string -> (alert_rule, string) result
+(** Parse [CAT/NAME>VALUE] or [CAT/NAME<VALUE]. *)
+
+type firing = { rule : alert_rule; at : Time_ns.t; value : float }
+
+val firings : ?rules:alert_rule list -> telemetry -> firing list
+(** Every (rule, snapshot) crossing, in snapshot order then rule
+    order; [rules] defaults to {!alerts}[ ()].  Pure — same telemetry,
+    same firings, at any job count. *)
+
+val render_firings : firing list -> string
+(** One [ALERT key: N snapshot(s), worst V] line per rule that fired,
+    in first-firing order; [""] when nothing fired. *)

@@ -21,10 +21,31 @@ type row = {
   p99_ns : float;  (** NaN on the fluid tier *)
 }
 
+(* What-if service pricing: the recipe's per-mechanism rows with each
+   whatif axis applied, summed back to a deterministic service time.
+   Used on closed/open shapes whenever the spec carries what-ifs — so
+   a whatif spec's baseline is its [whatif.MECH = 1] sibling (same
+   decomposed pricing), not the bespoke per-app server model. *)
+let whatif_service (spec : Spec.t) platform recipe =
+  let rows = Xc_apps.Recipe.mechanisms platform recipe in
+  let rows =
+    List.fold_left
+      (fun rows (mech, scale) ->
+        Xc_obs.Whatif.scale_rows { Xc_obs.Whatif.mech; scale } rows)
+      rows spec.Spec.whatif
+  in
+  List.fold_left (fun a (_, _, ns) -> a +. ns) 0. rows
+
 let closed_result (spec : Spec.t) =
   let w = Workload.find_exn spec.workload in
   let platform = Xc_platforms.Platform.create spec.platform in
-  let server = Figures.server_for_public spec.platform platform w.Workload.tag in
+  let server =
+    if spec.whatif = [] then
+      Figures.server_for_public spec.platform platform w.Workload.tag
+    else
+      let service = whatif_service spec platform w.Workload.recipe in
+      { CL.units = 4; service_ns = (fun _ -> service); overhead_ns = 0. }
+  in
   CL.run
     {
       CL.default_config with
@@ -38,7 +59,10 @@ let closed_result (spec : Spec.t) =
 let open_result (spec : Spec.t) =
   let w = Workload.find_exn spec.workload in
   let platform = Xc_platforms.Platform.create spec.platform in
-  let service = Xc_apps.Recipe.service_ns platform w.Workload.recipe in
+  let service =
+    if spec.whatif = [] then Xc_apps.Recipe.service_ns platform w.Workload.recipe
+    else whatif_service spec platform w.Workload.recipe
+  in
   let units = 4 in
   let server = { CL.units; service_ns = (fun _ -> service); overhead_ns = 0. } in
   let rate_rps = spec.load.rate *. (float_of_int units *. 1e9 /. service) in
@@ -66,6 +90,13 @@ let cluster_results (spec : Spec.t) =
       CS.duration_ns = Spec.duration_ns spec;
       warmup_ns = Spec.warmup_ns spec;
     }
+  in
+  (* The config is priced ([config_of_platform] above), so a validated
+     what-if cannot fail to apply — an [Error] here is a logic bug. *)
+  let base =
+    match Xc_obs.Whatif.apply_cluster_all spec.whatif base with
+    | Ok c -> c
+    | Error m -> invalid_arg (Printf.sprintf "Driver: %s: %s" spec.Spec.name m)
   in
   let fidelity = cluster_fidelity spec in
   List.init spec.load.nodes (fun i ->

@@ -141,6 +141,51 @@ let cluster_scale =
     ~diffs:[ ("hier", 8, 5); ("hier", 400, 5); ("flat", 400, 5); ("hier", 64, 1) ]
     ~mixed_containers:200
 
+(* The causal what-if grid: per (runtime x mechanism), predict the
+   virtual speedup from the baseline's attribution and validate it
+   against an actual re-priced rerun.  The light cells (1 connection)
+   are the regime where the linear prediction holds; the knee cells
+   (5 connections, the fig9 queueing regime) are kept on purpose to
+   show where it breaks. *)
+let causal =
+  let base =
+    [
+      ("kind", "causal-point");
+      ("shape", "cluster");
+      ("duration_ms", "100");
+      ("warmup_ms", "20");
+      ("seed", "17");
+      ("containers", "4");
+      ("connections", "1");
+    ]
+  in
+  let causal_runtimes = [ "docker"; "x-container" ] in
+  let light =
+    List.concat_map
+      (fun rt ->
+        List.map
+          (fun mech ->
+            spec
+              (Printf.sprintf "%s/%s" rt mech)
+              (base @ [ ("runtime", rt); ("whatif." ^ mech, "0.7") ]))
+          [ "syscall-entry"; "ctx-switch"; "net.hop" ])
+      causal_runtimes
+  in
+  let knee =
+    List.map
+      (fun rt ->
+        spec
+          (Printf.sprintf "%s/syscall-entry/knee" rt)
+          (base
+          @ [
+              ("runtime", rt);
+              ("connections", "5");
+              ("whatif.syscall-entry", "0.7");
+            ]))
+      causal_runtimes
+  in
+  suite "causal" (light @ knee)
+
 let bench =
   [
     ("table1", single "table1");
@@ -163,6 +208,7 @@ let bench =
     ("density", single "density");
     ("hedging", hedging);
     ("cluster-scale", cluster_scale);
+    ("causal", causal);
   ]
 
 let bench_names = List.map fst bench

@@ -30,6 +30,7 @@ type t = {
   seed : int;
   fidelity : fidelity;
   capture : capture;
+  whatif : (string * float) list;
   params : (string * string) list;
 }
 
@@ -61,6 +62,7 @@ let default =
         interval_us = 0;
         tails = false;
       };
+    whatif = [];
     params = [];
   }
 
@@ -298,14 +300,22 @@ let set_field t key value =
         if pk = "" then err key "empty param key"
         else if List.mem_assoc pk t.params then err key "duplicate param"
         else Ok { t with params = t.params @ [ (pk, String.trim value) ] }
+      else if String.length key > 7 && String.sub key 0 7 = "whatif." then
+        let mech = String.sub key 7 (String.length key - 7) in
+        if List.mem_assoc mech t.whatif then err key "duplicate what-if"
+        else
+          let* scale = parse_float key value in
+          let* () = prefix_err key (Xc_obs.Whatif.validate ~mech ~scale) in
+          Ok { t with whatif = t.whatif @ [ (mech, scale) ] }
       else if key = "name" then
         err key "set by the [experiment NAME] section header"
       else
-        err key "unknown field (known: %s, param.*)"
+        err key "unknown field (known: %s, param.*, whatif.MECH)"
           (String.concat ", " field_names)
 
 let fields t =
   List.map (fun (k, get, _) -> (k, get t)) field_table
+  @ List.map (fun (m, s) -> ("whatif." ^ m, float_to_string s)) t.whatif
   @ List.map (fun (k, v) -> ("param." ^ k, v)) t.params
 
 let print_fields t =
@@ -414,6 +424,15 @@ let validate t =
       (t.capture.interval_us >= 0 && t.capture.interval_us <= 1_000_000_000)
       "interval_us" "must be in [0, 1e9] (0 = default, got %d)"
       t.capture.interval_us
+  in
+  let* () =
+    List.fold_left
+      (fun acc (mech, scale) ->
+        let* () = acc in
+        prefix_err
+          ("whatif." ^ mech)
+          (Xc_obs.Whatif.validate ~mech ~scale))
+      (Ok ()) t.whatif
   in
   List.fold_left
     (fun acc (k, v) ->

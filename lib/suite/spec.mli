@@ -51,6 +51,15 @@ type t = {
   seed : int;
   fidelity : fidelity;
   capture : capture;
+  whatif : (string * float) list;
+      (** [whatif.MECH = SCALE] virtual-speedup axes, in file order:
+          the named mechanism's priced cost is scaled before the run
+          ({!Xc_obs.Whatif}).  Validated against the mechanism
+          vocabulary and scale range at parse time; duplicate
+          mechanisms are an error.  Specs with what-ifs use the
+          recipe-decomposed service pricing on closed/open shapes, so
+          compare them against a [whatif.MECH = 1] cell of the same
+          spec, not an un-scaled spec. *)
   params : (string * string) list;
       (** free-form [param.KEY = value] extension fields, in file order *)
 }

@@ -19,10 +19,10 @@ let test_inventory_covers_bench () =
     (List.length Xcontainers.Inventory.all)
 
 let test_registry_agrees_with_bench () =
-  (* The registry's bench list is the 20 baseline experiments in bench
+  (* The registry's bench list is the 21 baseline experiments in bench
      order; every one resolves to a validated suite with canonical spec
      text, and the smoke list extends — never contradicts — it. *)
-  Alcotest.(check int) "twenty bench suites" 20 (List.length bench_targets);
+  Alcotest.(check int) "twenty-one bench suites" 21 (List.length bench_targets);
   List.iter
     (fun name ->
       Alcotest.(check bool)
@@ -50,7 +50,7 @@ let test_registry_agrees_with_bench () =
 let test_inventory_structure () =
   Alcotest.(check int) "eight paper entries" 8
     (List.length Xcontainers.Inventory.paper_entries);
-  Alcotest.(check int) "twelve extensions" 12
+  Alcotest.(check int) "thirteen extensions" 13
     (List.length Xcontainers.Inventory.extension_entries);
   List.iter
     (fun (e : Xcontainers.Inventory.entry) ->

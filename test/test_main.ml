@@ -15,4 +15,5 @@ let () =
    @ Test_parallel.suites @ Test_sharding.suites @ Test_trace.suites
    @ Test_bench_check.suites
    @ Test_tails.suites @ Test_metrics.suites @ Test_bench_history.suites
-   @ Test_lb.suites @ Test_cluster_fluid.suites @ Test_suite.suites)
+   @ Test_lb.suites @ Test_cluster_fluid.suites @ Test_suite.suites
+   @ Test_causal.suites)
